@@ -1,0 +1,97 @@
+"""Ablation — DPM scheme comparison under a fixed cache policy.
+
+Quantifies the DPM layer itself: always-on vs the 2-competitive
+threshold scheme vs Oracle, and a single-threshold (straight-to-
+standby) variant, all under LRU on the OLTP workload. Practical must
+land between always-on and Oracle, and within 2x of Oracle.
+"""
+
+from repro.analysis.tables import ascii_table
+from repro.power.dpm import PracticalDPM
+from repro.power.envelope import EnergyEnvelope
+from repro.power.specs import build_power_model
+from repro.cache.policies.lru import LRUPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import StorageSimulator
+from repro.sim.runner import run_simulation
+from benchmarks.conftest import OLTP_CACHE_BLOCKS
+
+
+def run_single_threshold(trace):
+    """Threshold DPM that jumps straight to standby at its break-even."""
+    model = build_power_model()
+    envelope = EnergyEnvelope(model)
+    standby = len(model) - 1
+    thresholds = [(envelope.breakeven_time(standby), standby)]
+    config = SimulationConfig(
+        num_disks=21, cache_capacity_blocks=OLTP_CACHE_BLOCKS
+    )
+
+    class SingleThresholdConfig(SimulationConfig):
+        pass
+
+    sim = StorageSimulator(trace, config, LRUPolicy(), label="single-threshold")
+    # swap every disk's DPM for the single-threshold variant
+    for disk in sim.array:
+        disk.dpm = PracticalDPM(model, thresholds=thresholds)
+    return sim.run()
+
+
+def sweep(trace):
+    results = {
+        dpm: run_simulation(
+            trace, "lru", num_disks=21, cache_blocks=OLTP_CACHE_BLOCKS, dpm=dpm
+        )
+        for dpm in ("always_on", "practical", "adaptive", "oracle")
+    }
+    results["single-threshold"] = run_single_threshold(trace)
+    return results
+
+
+def test_ablation_dpm_schemes(benchmark, report, oltp_trace):
+    results = benchmark.pedantic(
+        sweep, args=(oltp_trace,), rounds=1, iterations=1
+    )
+    base = results["always_on"].total_energy_j
+    rows = [
+        [
+            name,
+            f"{r.total_energy_j / 1e3:.1f}",
+            f"{r.total_energy_j / base:.3f}",
+            f"{r.response.mean_s * 1000:.1f} ms",
+            r.spinups,
+        ]
+        for name, r in results.items()
+    ]
+    report(
+        "ablation_dpm_schemes",
+        ascii_table(
+            ["DPM", "energy (kJ)", "vs always-on", "mean response", "spinups"],
+            rows,
+            title="Ablation — DPM schemes under LRU (OLTP)",
+        ),
+    )
+
+    assert (
+        results["oracle"].total_energy_j
+        <= results["practical"].total_energy_j
+        <= results["always_on"].total_energy_j
+    )
+    # the 2-competitive bound holds end-to-end, not just per-gap
+    assert (
+        results["practical"].total_energy_j
+        <= 2.0 * results["oracle"].total_energy_j
+    )
+    # the multi-speed ladder beats the naive single threshold
+    assert (
+        results["practical"].total_energy_j
+        <= results["single-threshold"].total_energy_j * 1.05
+    )
+    # adaptive thresholds stay bracketed by oracle and always-on
+    assert (
+        results["oracle"].total_energy_j
+        <= results["adaptive"].total_energy_j
+        <= results["always_on"].total_energy_j
+    )
+    # oracle never delays a request
+    assert results["oracle"].response.mean_s < results["practical"].response.mean_s

@@ -1,0 +1,68 @@
+"""Ablation — PA-LRU's parameters: alpha, p, and the epoch length.
+
+The paper fixes alpha (cold-miss cutoff), p (CDF probability), and a
+15-minute epoch. This sweep shows the classifier is robust across a
+band of settings and degrades gracefully toward plain LRU at the
+extremes (alpha=0 or an epoch longer than the trace never classifies
+anything as priority).
+"""
+
+from repro.analysis.tables import ascii_table
+from repro.sim.runner import run_simulation
+from benchmarks.conftest import OLTP_CACHE_BLOCKS
+
+
+def sweep(oltp_trace):
+    lru = run_simulation(
+        oltp_trace, "lru", num_disks=21, cache_blocks=OLTP_CACHE_BLOCKS
+    )
+    variants = [
+        ("paper (a=.5 p=.8 e=900)", dict(pa_alpha=0.5, pa_p=0.8, pa_epoch_s=900)),
+        ("alpha=0 (nothing cold enough)", dict(pa_alpha=0.0)),
+        ("alpha=0.9 (lenient)", dict(pa_alpha=0.9)),
+        ("p=0.5 (median interval)", dict(pa_p=0.5)),
+        ("p=0.95 (strict)", dict(pa_p=0.95)),
+        ("epoch=300s (agile)", dict(pa_epoch_s=300.0)),
+        ("epoch=10000s (> trace)", dict(pa_epoch_s=10_000.0)),
+    ]
+    rows = []
+    for label, kwargs in variants:
+        result = run_simulation(
+            oltp_trace,
+            "pa-lru",
+            num_disks=21,
+            cache_blocks=OLTP_CACHE_BLOCKS,
+            **kwargs,
+        )
+        rows.append((label, kwargs, result))
+    return lru, rows
+
+
+def test_ablation_pa_params(benchmark, report, oltp_trace):
+    lru, rows = benchmark.pedantic(
+        sweep, args=(oltp_trace,), rounds=1, iterations=1
+    )
+    table_rows = [
+        [label, f"{result.savings_over(lru):+.1%}",
+         f"{result.response.mean_s * 1000:.0f} ms"]
+        for label, _, result in rows
+    ]
+    report(
+        "ablation_pa_params",
+        ascii_table(
+            ["variant", "energy savings vs LRU", "mean response"],
+            table_rows,
+            title="Ablation — PA-LRU parameter sensitivity (OLTP)",
+        ),
+    )
+
+    results = {label: r for label, _, r in rows}
+    paper = results["paper (a=.5 p=.8 e=900)"]
+    assert paper.savings_over(lru) > 0.10
+    # degenerate settings collapse onto LRU
+    assert abs(results["epoch=10000s (> trace)"].savings_over(lru)) < 0.01
+    assert abs(results["alpha=0 (nothing cold enough)"].savings_over(lru)) < 0.05
+    # the working band is robust: every sane variant saves energy
+    for label in ("alpha=0.9 (lenient)", "p=0.5 (median interval)",
+                  "epoch=300s (agile)"):
+        assert results[label].savings_over(lru) > 0.08, label

@@ -1,0 +1,41 @@
+"""Figure 2 — per-mode energy-consumption lines and the lower envelope.
+
+Regenerates the figure's data: for each power mode, the line
+``c_i(t) = P_i t + (round-trip energy - P_i * round-trip time)``, plus
+the minimum-energy lower envelope used by Oracle DPM.
+"""
+
+from repro.analysis.figures import envelope_series
+from repro.analysis.tables import ascii_table
+from repro.power.specs import build_power_model
+
+INTERVALS = [1.0, 2.0, 5.0, 5.27, 10.0, 10.2, 15.2, 20.1, 25.1, 40.0, 60.0, 120.0]
+
+
+def test_fig2_energy_envelope(benchmark, report):
+    model = build_power_model()
+    series = benchmark.pedantic(
+        envelope_series, args=(model, INTERVALS), rounds=1, iterations=1
+    )
+    headers = ["interval(s)"] + list(series.keys())
+    rows = [
+        [f"{t:.2f}"] + [f"{series[name][i]:.1f}" for name in series]
+        for i, t in enumerate(INTERVALS)
+    ]
+    report(
+        "fig2_energy_envelope",
+        ascii_table(
+            headers,
+            rows,
+            title="Figure 2 — energy per idle interval, by mode (J), "
+            "and the lower envelope E_min",
+        ),
+    )
+
+    env = series["E_min (envelope)"]
+    for i, t in enumerate(INTERVALS):
+        for name, line in series.items():
+            assert env[i] <= line[i] + 1e-9, (t, name)
+    # the envelope is the idle line early and the standby line late
+    assert env[0] == series["IDLE"][0]
+    assert env[-1] == series["STANDBY"][-1]

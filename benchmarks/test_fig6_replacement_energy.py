@@ -1,0 +1,142 @@
+"""Figure 6 — the headline replacement-policy comparison.
+
+(a) OLTP energy, (b) Cello96 energy — InfiniteCache / Belady / OPG /
+LRU / PA-LRU under both Oracle and Practical DPM, normalized to LRU —
+and (c) mean response time under Practical DPM normalized to LRU.
+
+Expected shapes (paper): on OLTP, Infinite < OPG < Belady < PA-LRU <
+LRU with PA-LRU ≈ 0.84×LRU and ~2× better response; on Cello96 all
+bars within a few percent of LRU (nothing to save), infinite ≈ 0.88.
+"""
+
+import pytest
+
+from repro.analysis.figures import replacement_comparison
+from repro.analysis.tables import ascii_table
+from benchmarks.conftest import CELLO_CACHE_BLOCKS, OLTP_CACHE_BLOCKS
+
+POLICIES = ("infinite", "belady", "opg", "lru", "pa-lru")
+
+
+def normalized(results, dpm):
+    base = results[dpm]["lru"].total_energy_j
+    return {p: results[dpm][p].total_energy_j / base for p in POLICIES}
+
+
+@pytest.fixture(scope="module")
+def oltp_results(oltp_trace):
+    return replacement_comparison(
+        oltp_trace, num_disks=21, cache_blocks=OLTP_CACHE_BLOCKS
+    )
+
+
+@pytest.fixture(scope="module")
+def cello_results(cello_trace):
+    return replacement_comparison(
+        cello_trace, num_disks=19, cache_blocks=CELLO_CACHE_BLOCKS
+    )
+
+
+def test_fig6a_energy_oltp(benchmark, report, oltp_trace, oltp_results):
+    # benchmark one representative run; the fixture did the full grid
+    benchmark.pedantic(
+        lambda: replacement_comparison(
+            oltp_trace,
+            num_disks=21,
+            cache_blocks=OLTP_CACHE_BLOCKS,
+            dpms=("practical",),
+            policies=("lru",),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for dpm in ("oracle", "practical"):
+        norm = normalized(oltp_results, dpm)
+        rows.append(
+            [dpm] + [f"{norm[p]:.3f}" for p in POLICIES]
+        )
+    report(
+        "fig6a_energy_oltp",
+        ascii_table(
+            ["DPM"] + list(POLICIES),
+            rows,
+            title="Figure 6(a) — OLTP disk energy normalized to LRU",
+        ),
+    )
+    for dpm in ("oracle", "practical"):
+        norm = normalized(oltp_results, dpm)
+        assert norm["infinite"] <= norm["opg"] + 1e-6
+        assert norm["opg"] < norm["belady"]
+        assert norm["belady"] < norm["pa-lru"]
+        assert norm["pa-lru"] < 0.92  # PA-LRU saves real energy
+    practical = normalized(oltp_results, "practical")
+    assert practical["pa-lru"] == pytest.approx(0.84, abs=0.05)
+
+
+def test_fig6b_energy_cello(benchmark, report, cello_trace, cello_results):
+    benchmark.pedantic(
+        lambda: replacement_comparison(
+            cello_trace,
+            num_disks=19,
+            cache_blocks=CELLO_CACHE_BLOCKS,
+            dpms=("practical",),
+            policies=("infinite",),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for dpm in ("oracle", "practical"):
+        norm = normalized(cello_results, dpm)
+        rows.append([dpm] + [f"{norm[p]:.3f}" for p in POLICIES])
+    report(
+        "fig6b_energy_cello",
+        ascii_table(
+            ["DPM"] + list(POLICIES),
+            rows,
+            title="Figure 6(b) — Cello96 disk energy normalized to LRU",
+        ),
+    )
+    for dpm in ("oracle", "practical"):
+        norm = normalized(cello_results, dpm)
+        # the cold-dominated regime: every policy within ~8% of LRU
+        for policy in POLICIES:
+            assert norm[policy] >= 0.90, (dpm, policy)
+        # PA-LRU collapses onto LRU (paper: 2-3% savings)
+        assert norm["pa-lru"] == pytest.approx(1.0, abs=0.03)
+
+
+def test_fig6c_response_time(benchmark, report, oltp_results, cello_results):
+    benchmark.pedantic(
+        lambda: oltp_results["practical"]["lru"].response, rounds=1, iterations=1
+    )
+    rows = []
+    for name, results in (("OLTP", oltp_results), ("Cello96", cello_results)):
+        base = results["practical"]["lru"].response.mean_s
+        rows.append(
+            [name]
+            + [
+                f"{results['practical'][p].response.mean_s / base:.2f}"
+                for p in POLICIES
+                if p != "infinite"
+            ]
+        )
+    report(
+        "fig6c_response_time",
+        ascii_table(
+            ["trace"] + [p for p in POLICIES if p != "infinite"],
+            rows,
+            title="Figure 6(c) — mean response time normalized to LRU "
+            "(Practical DPM)",
+        ),
+    )
+    oltp = oltp_results["practical"]
+    # PA-LRU's big win: far fewer spin-ups in the request path
+    assert (
+        oltp["pa-lru"].response.mean_s < 0.8 * oltp["lru"].response.mean_s
+    )
+    cello = cello_results["practical"]
+    assert cello["pa-lru"].response.mean_s == pytest.approx(
+        cello["lru"].response.mean_s, rel=0.05
+    )

@@ -1,0 +1,66 @@
+"""Table 1 — the disk model: datasheet values plus derived NAP modes.
+
+Prints the simulation parameters table with the linear-model-derived
+per-mode power, transition times/energies, break-even times, and the
+2-competitive thresholds the Practical DPM runs with.
+"""
+
+from repro.analysis.tables import ascii_table
+from repro.power.envelope import EnergyEnvelope
+from repro.power.specs import ULTRASTAR_36Z15, build_power_model
+
+
+def build_table1():
+    model = build_power_model(ULTRASTAR_36Z15)
+    envelope = EnergyEnvelope(model)
+    thresholds = dict(
+        (mode, t) for t, mode in envelope.practical_thresholds()
+    )
+    rows = []
+    for mode in model:
+        rows.append(
+            [
+                mode.name,
+                f"{mode.rpm:.0f}",
+                f"{mode.power_w:.2f}",
+                f"{mode.spindown_time_s:.2f}",
+                f"{mode.spinup_time_s:.2f}",
+                f"{mode.round_trip_energy_j:.1f}",
+                f"{envelope.breakeven_time(mode.index):.2f}",
+                f"{thresholds.get(mode.index, float('nan')):.2f}"
+                if mode.index in thresholds
+                else "-",
+            ]
+        )
+    return model, envelope, rows
+
+
+def test_table1_disk_model(benchmark, report):
+    model, envelope, rows = benchmark.pedantic(
+        build_table1, rounds=1, iterations=1
+    )
+    table = ascii_table(
+        [
+            "mode",
+            "rpm",
+            "power(W)",
+            "down(s)",
+            "up(s)",
+            "roundtrip(J)",
+            "breakeven(s)",
+            "threshold(s)",
+        ],
+        rows,
+        title=(
+            "Table 1 — IBM Ultrastar 36Z15 multi-speed model "
+            "(linear DRPM extension)"
+        ),
+    )
+    report("table1_disk_model", table)
+
+    # datasheet anchors
+    assert model[0].power_w == 10.2
+    assert model.deepest_mode.spinup_energy_j == 135.0
+    # the threshold ladder is increasing and covers every low mode
+    times = [t for t, _ in envelope.practical_thresholds()]
+    assert times == sorted(times) and len(times) == len(model) - 1

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Closed-loop OLTP: when spin-ups throttle the clients.
+
+TPC-C terminals are a *closed* system — a client blocked on a
+10.9-second spin-up submits nothing until it completes. This example
+runs LRU and PA-LRU against the same closed client population and shows
+the effect open-loop traces cannot express: the power-aware cache not
+only saves energy, it gives the blocked clients their throughput back.
+
+Run:
+    python examples/closed_loop_oltp.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import ascii_table
+from repro.cache.policies.lru import LRUPolicy
+from repro.core.pa import make_pa_lru
+from repro.power.envelope import EnergyEnvelope
+from repro.power.specs import build_power_model
+from repro.sim.closedloop import ClosedLoopSimulator, HotCoolWorkload
+from repro.sim.config import SimulationConfig
+
+NUM_DISKS = 21
+CACHE_BLOCKS = 1024
+DURATION_S = 2400.0
+CLIENTS = 24
+THINK_S = 1.0
+
+
+def build_policy(name):
+    if name == "lru":
+        return LRUPolicy()
+    threshold = EnergyEnvelope(build_power_model()).breakeven_time(1)
+    return make_pa_lru(
+        num_disks=NUM_DISKS, threshold_t=threshold, epoch_length_s=300.0
+    )
+
+
+def main() -> None:
+    rows = []
+    for name in ("lru", "pa-lru"):
+        print(f"running closed loop with {name} "
+              f"({CLIENTS} clients, {DURATION_S / 60:.0f} min)...")
+        sim = ClosedLoopSimulator(
+            SimulationConfig(
+                num_disks=NUM_DISKS, cache_capacity_blocks=CACHE_BLOCKS
+            ),
+            build_policy(name),
+            HotCoolWorkload(np.random.default_rng(5), num_disks=NUM_DISKS),
+            num_clients=CLIENTS,
+            mean_think_time_s=THINK_S,
+            duration_s=DURATION_S,
+            seed=5,
+            label=name,
+        )
+        result = sim.run()
+        rows.append(
+            [
+                name,
+                f"{sim.throughput_hz:.2f} req/s",
+                f"{result.response.mean_s * 1000:.0f} ms",
+                f"{result.response.p95_s * 1000:.0f} ms",
+                f"{result.total_energy_j / 1e3:.0f} kJ",
+                f"{result.total_energy_j / sim.completed_requests:.1f} J",
+                result.spinups,
+            ]
+        )
+    print()
+    print(ascii_table(
+        ["policy", "throughput", "mean resp", "p95 resp",
+         "energy", "energy/request", "spinups"],
+        rows,
+        title="Closed-loop OLTP: the feedback effect of power-aware caching",
+    ))
+    print(
+        "\nEnergy per *completed request* is the closed-loop figure of "
+        "merit:\nthe power-aware cache both spends less and serves more."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The two multi-speed disk designs, head to head (Section 2.1).
+
+The paper picks "serve only at full speed" for its multi-speed disks;
+Carrera & Bianchini's DRPM-style design serves at any rotational speed.
+This example runs LRU and PA-LRU over the OLTP-like workload under both
+designs and plots the energy / response / spin-up trade as terminal
+bar charts.
+
+Run (takes ~1 minute):
+    python examples/drpm_comparison.py
+"""
+
+from repro import OLTPTraceConfig, generate_oltp_trace
+from repro.analysis.plotting import bar_chart
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import run_simulation
+
+CACHE_BLOCKS = 2048
+
+
+def main() -> None:
+    print("generating a 1-hour OLTP-like trace...")
+    trace = generate_oltp_trace(OLTPTraceConfig(duration_s=3600.0))
+    print(f"  {len(trace):,} requests\n")
+
+    results = {}
+    for design in ("full-speed-only", "all-speed"):
+        config = SimulationConfig(
+            num_disks=21,
+            cache_capacity_blocks=CACHE_BLOCKS,
+            disk_design=design,
+        )
+        for policy in ("lru", "pa-lru"):
+            print(f"simulating {policy} on {design} disks...")
+            results[f"{design}/{policy}"] = run_simulation(
+                trace, policy, num_disks=21, cache_blocks=CACHE_BLOCKS,
+                config=config,
+            )
+    print()
+
+    labels = list(results)
+    print(bar_chart(
+        labels,
+        [round(results[k].total_energy_j / 1e3, 1) for k in labels],
+        unit=" kJ",
+        title="Total disk energy",
+    ))
+    print()
+    print(bar_chart(
+        labels,
+        [round(results[k].response.mean_s * 1000, 1) for k in labels],
+        unit=" ms",
+        title="Mean response time",
+    ))
+    print()
+    print(bar_chart(
+        labels,
+        [float(results[k].spinups) for k in labels],
+        title="Full spin-ups",
+    ))
+    print()
+    fso = results["full-speed-only/lru"]
+    als = results["all-speed/lru"]
+    print(
+        "The trade: the all-speed (DRPM) design wipes out the wake-delay "
+        "tail\n"
+        f"  p95 response: {fso.response.p95_s * 1000:7.0f} ms  ->  "
+        f"{als.response.p95_s * 1000:.0f} ms\n"
+        "while transfers at NAP speeds run proportionally slower. "
+        "PA-LRU helps\nunder both designs — the cache-level technique is "
+        "orthogonal to the\ndisk-level mechanism."
+    )
+
+
+if __name__ == "__main__":
+    main()

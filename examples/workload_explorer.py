@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Workload exploration: which disks could a power-aware cache help?
+
+Characterizes the OLTP-like trace per disk — request rates, reuse, mean
+gaps — and relates that to what PA-LRU's classifier will decide: disks
+with high reuse and gaps beyond the NAP1 break-even are priority-class
+material. Finishes with a small grid sweep over cache sizes showing how
+the PA advantage depends on cache pressure.
+
+Run:
+    python examples/workload_explorer.py
+"""
+
+from repro import OLTPTraceConfig, generate_oltp_trace
+from repro.analysis.plotting import sparkline
+from repro.analysis.tables import ascii_table
+from repro.power.envelope import EnergyEnvelope
+from repro.power.specs import build_power_model
+from repro.sim.sweep import grid_sweep
+from repro.traces.stats import characterize, characterize_disks
+
+
+def main() -> None:
+    config = OLTPTraceConfig(duration_s=2400.0)
+    trace = generate_oltp_trace(config)
+    overall = characterize(trace)
+    print(overall.table_row("OLTP") + "\n")
+
+    threshold = EnergyEnvelope(build_power_model()).breakeven_time(1)
+    per_disk = characterize_disks(trace)
+    rows = []
+    for d in per_disk:
+        parkable = (
+            d.mean_interarrival_s > threshold and d.reuse_fraction > 0.5
+        )
+        rows.append(
+            [
+                d.disk,
+                d.requests,
+                f"{d.mean_interarrival_s:.2f} s",
+                d.distinct_blocks,
+                f"{d.reuse_fraction:.0%}",
+                "priority material" if parkable else "-",
+            ]
+        )
+    print(ascii_table(
+        ["disk", "requests", "mean gap", "distinct blocks", "reuse",
+         f"vs NAP1 break-even ({threshold:.1f} s)"],
+        rows,
+        title="Per-disk workload characteristics",
+    ))
+
+    gaps = [d.mean_interarrival_s for d in per_disk]
+    print(f"\nper-disk mean gap profile: {sparkline(gaps)} "
+          f"(disks 0..{len(gaps) - 1})")
+
+    print("\nsweeping cache size (lru + pa-lru per point)...\n")
+    sweep = grid_sweep(
+        trace,
+        axes={"policy": ["lru", "pa-lru"],
+              "cache_blocks": [512, 2048, 8192]},
+        num_disks=config.num_disks,
+        cache_blocks=None,  # overridden per point by the axis
+        pa_epoch_s=300.0,
+    )
+    by = {
+        (p.params["policy"], p.params["cache_blocks"]): p.result
+        for p in sweep.points
+    }
+    rows = []
+    for blocks in (512, 2048, 8192):
+        lru, pa = by[("lru", blocks)], by[("pa-lru", blocks)]
+        rows.append(
+            [
+                f"{blocks} ({blocks * 8 // 1024} MiB)",
+                f"{lru.total_energy_j / 1e3:.0f} kJ",
+                f"{pa.total_energy_j / 1e3:.0f} kJ",
+                f"{pa.savings_over(lru):+.1%}",
+            ]
+        )
+    print(ascii_table(
+        ["cache size", "LRU energy", "PA-LRU energy", "PA savings"],
+        rows,
+        title="Cache-size sensitivity (40-minute trace)",
+    ))
+    print(
+        "\nThe PA advantage needs cache *pressure*: with a huge cache, "
+        "LRU already\nkeeps the cool working sets resident and there is "
+        "nothing left to win."
+    )
+
+
+if __name__ == "__main__":
+    main()

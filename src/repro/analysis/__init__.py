@@ -1,0 +1,31 @@
+"""Reporting helpers: ASCII tables and per-figure data builders.
+
+The benchmark harness (``benchmarks/``) uses these to regenerate every
+table and figure of the paper's evaluation as printable series/rows.
+"""
+
+from repro.analysis.figures import (
+    belady_counterexample,
+    envelope_series,
+    interval_cdf_series,
+    replacement_comparison,
+    savings_series,
+    spinup_cost_sweep,
+    time_breakdown_comparison,
+    write_policy_sweep,
+)
+from repro.analysis.tables import ascii_table, format_fraction, format_joules
+
+__all__ = [
+    "ascii_table",
+    "belady_counterexample",
+    "envelope_series",
+    "format_fraction",
+    "format_joules",
+    "interval_cdf_series",
+    "replacement_comparison",
+    "savings_series",
+    "spinup_cost_sweep",
+    "time_breakdown_comparison",
+    "write_policy_sweep",
+]

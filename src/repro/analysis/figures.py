@@ -1,0 +1,243 @@
+"""Data builders for every figure of the paper's evaluation.
+
+Each function computes the series/rows one paper figure plots, from the
+library's own primitives, so benchmarks and examples never duplicate
+experiment logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.cache.policies.belady import BeladyPolicy
+from repro.core.energy_optimal import idle_energy_of, simulate_misses
+from repro.core.opg import OPGPolicy
+from repro.power.envelope import EnergyEnvelope
+from repro.power.modes import PowerModel
+from repro.power.specs import build_power_model, scale_spinup_cost
+from repro.sim.results import SimulationResult
+from repro.sim.runner import run_simulation
+from repro.traces.record import IORequest
+
+
+# -- Figures 2 and 4: the envelopes -------------------------------------------
+
+def envelope_series(
+    model: PowerModel, interval_lengths: Sequence[float]
+) -> dict[str, list[float]]:
+    """Figure 2: per-mode energy lines and the lower envelope."""
+    envelope = EnergyEnvelope(model)
+    series: dict[str, list[float]] = {
+        mode.name: [envelope.line_energy(mode.index, t) for t in interval_lengths]
+        for mode in model
+    }
+    series["E_min (envelope)"] = [
+        envelope.min_energy(t) for t in interval_lengths
+    ]
+    return series
+
+
+def savings_series(
+    model: PowerModel, interval_lengths: Sequence[float]
+) -> dict[str, list[float]]:
+    """Figure 4: per-mode savings lines and the upper envelope."""
+    envelope = EnergyEnvelope(model)
+    series: dict[str, list[float]] = {}
+    for mode in model:
+        if mode.index == 0:
+            continue
+        series[mode.name] = [
+            max(envelope.savings(mode.index, t), 0.0)
+            for t in interval_lengths
+        ]
+    series["S_max (envelope)"] = [
+        envelope.max_savings(t) for t in interval_lengths
+    ]
+    return series
+
+
+# -- Figure 3: the Belady counterexample ------------------------------------------
+
+@dataclass(frozen=True)
+class CounterexampleResult:
+    """Outcome of the Figure 3 worked example."""
+
+    belady_misses: int
+    power_aware_misses: int
+    belady_energy: float
+    power_aware_energy: float
+
+
+def belady_counterexample() -> CounterexampleResult:
+    """Reproduce Figure 3: Belady minimizes misses, not energy.
+
+    The paper's setting: a 4-entry cache, a 2-mode disk that spins down
+    after 10 idle time-units, and the request string
+    ``A B C D E B E C D … A`` where the final ``A`` arrives at t=16.
+    Misses clustered together let the disk sleep longer, so an
+    algorithm taking two *more* misses spends *less* energy. We price
+    idle gaps with the threshold scheme of the example: the disk burns
+    1 unit/time for min(gap, 10) and sleeps for free afterwards.
+    """
+    blocks = {c: ord(c) for c in "ABCDE"}
+    times = {0: "A", 1: "B", 2: "C", 3: "D", 4: "E", 5: "B", 6: "E",
+             7: "C", 8: "D", 16: "A"}
+    accesses = [(float(t), (0, blocks[c])) for t, c in sorted(times.items())]
+
+    def threshold_energy(gap: float) -> float:
+        return min(gap, 10.0)
+
+    end_time = 30.0
+    belady = simulate_misses(accesses, 4, BeladyPolicy())
+    power_aware = simulate_misses(
+        accesses, 4, OPGPolicy(threshold_energy, tail_s=end_time - 16.0)
+    )
+    return CounterexampleResult(
+        belady_misses=len(belady),
+        power_aware_misses=len(power_aware),
+        belady_energy=idle_energy_of(
+            belady, threshold_energy, end_time=end_time
+        ),
+        power_aware_energy=idle_energy_of(
+            power_aware, threshold_energy, end_time=end_time
+        ),
+    )
+
+
+# -- Figure 5: the interval CDF ---------------------------------------------------
+
+def interval_cdf_series(
+    histogram, probe_points: Sequence[float]
+) -> list[tuple[float, float]]:
+    """Figure 5: the histogram's CDF approximation at probe points."""
+    return [(x, histogram.cdf(x)) for x in probe_points]
+
+
+# -- Figure 6: replacement-policy comparison ----------------------------------------
+
+def replacement_comparison(
+    trace: Sequence[IORequest],
+    num_disks: int,
+    cache_blocks: int,
+    dpms: Sequence[str] = ("practical", "oracle"),
+    policies: Sequence[str] = ("infinite", "belady", "opg", "lru", "pa-lru"),
+    **run_kwargs,
+) -> dict[str, dict[str, SimulationResult]]:
+    """Figure 6: every policy under every DPM scheme, one trace."""
+    return {
+        dpm: {
+            policy: run_simulation(
+                trace,
+                policy,
+                num_disks=num_disks,
+                cache_blocks=cache_blocks,
+                dpm=dpm,
+                **run_kwargs,
+            )
+            for policy in policies
+        }
+        for dpm in dpms
+    }
+
+
+# -- Figure 7: per-disk breakdowns ---------------------------------------------------
+
+def time_breakdown_comparison(
+    lru: SimulationResult,
+    pa: SimulationResult,
+    disk_ids: Sequence[int],
+) -> list[dict[str, object]]:
+    """Figure 7: %time per power state and mean inter-arrival, LRU vs PA."""
+    rows = []
+    for disk_id in disk_ids:
+        for label, result in (("LRU", lru), ("PA-LRU", pa)):
+            report = result.disks[disk_id]
+            rows.append(
+                {
+                    "disk": disk_id,
+                    "policy": label,
+                    "breakdown": report.time_breakdown(),
+                    "mean_interarrival_s": report.mean_interarrival_s,
+                    "requests": report.requests,
+                }
+            )
+    return rows
+
+
+# -- Figure 8: spin-up cost sensitivity ------------------------------------------------
+
+def spinup_cost_sweep(
+    trace: Sequence[IORequest],
+    num_disks: int,
+    cache_blocks: int,
+    spinup_costs_j: Sequence[float],
+    base_spec=None,
+    **run_kwargs,
+) -> list[tuple[float, float]]:
+    """Figure 8: PA-LRU's savings over LRU per spin-up energy cost."""
+    from repro.sim.config import SimulationConfig
+    from repro.power.specs import ULTRASTAR_36Z15
+
+    base = base_spec or ULTRASTAR_36Z15
+    points = []
+    for cost in spinup_costs_j:
+        spec = scale_spinup_cost(base, cost)
+        config = SimulationConfig(
+            num_disks=num_disks,
+            cache_capacity_blocks=cache_blocks,
+            dpm="practical",
+            spec=spec,
+        )
+        lru = run_simulation(
+            trace, "lru", num_disks=num_disks, cache_blocks=cache_blocks,
+            config=config, **run_kwargs,
+        )
+        pa = run_simulation(
+            trace, "pa-lru", num_disks=num_disks, cache_blocks=cache_blocks,
+            config=config, **run_kwargs,
+        )
+        points.append((cost, pa.savings_over(lru)))
+    return points
+
+
+# -- Figure 9: write-policy study -------------------------------------------------------
+
+def write_policy_sweep(
+    make_trace: Callable[..., Sequence[IORequest]],
+    sweep_values: Sequence[float],
+    sweep_param: str,
+    num_disks: int,
+    cache_blocks: int,
+    policies: Sequence[str] = ("write-back", "wbeu", "wtdu"),
+    **run_kwargs,
+) -> dict[str, list[tuple[float, float]]]:
+    """Figure 9: savings of each policy over write-through along a sweep.
+
+    Args:
+        make_trace: Called with ``{sweep_param: value}`` per point.
+        sweep_values: The x-axis (write ratios, or inter-arrival times).
+        sweep_param: The trace-config field being swept.
+    """
+    curves: dict[str, list[tuple[float, float]]] = {p: [] for p in policies}
+    for value in sweep_values:
+        trace = make_trace(**{sweep_param: value})
+        baseline = run_simulation(
+            trace,
+            "lru",
+            num_disks=num_disks,
+            cache_blocks=cache_blocks,
+            write_policy="write-through",
+            **run_kwargs,
+        )
+        for policy in policies:
+            result = run_simulation(
+                trace,
+                "lru",
+                num_disks=num_disks,
+                cache_blocks=cache_blocks,
+                write_policy=policy,
+                **run_kwargs,
+            )
+            curves[policy].append((value, result.savings_over(baseline)))
+    return curves

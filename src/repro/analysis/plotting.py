@@ -1,0 +1,76 @@
+"""Terminal plotting: horizontal bar charts and sparklines.
+
+The examples and benchmark reports run in environments without a
+display or matplotlib, so figures are rendered as aligned unicode/ASCII
+charts. Values are auto-scaled to the available width.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart, one row per (label, value).
+
+    Bars scale to the maximum value; negative values render as empty
+    bars with their number still shown.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title
+    peak = max(max(values), 0.0)
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = round(width * value / peak) if peak > 0 else 0
+        bar = "█" * max(0, filled)
+        lines.append(
+            f"{str(label):>{label_w}}  {bar:<{width}}  {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series (min→max over 8 levels)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _SPARK_LEVELS[
+            min(len(_SPARK_LEVELS) - 1, int((v - lo) / span * len(_SPARK_LEVELS)))
+        ]
+        for v in values
+    )
+
+
+def percent_bars(
+    labels: Sequence[str],
+    fractions: Sequence[float],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Bars for values in [0, 1], scaled to a fixed 100% width."""
+    if len(labels) != len(fractions):
+        raise ValueError("labels and fractions must have equal length")
+    label_w = max((len(str(l)) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, fraction in zip(labels, fractions):
+        clamped = min(max(fraction, 0.0), 1.0)
+        bar = "█" * round(width * clamped)
+        lines.append(
+            f"{str(label):>{label_w}}  {bar:<{width}}  {fraction:.1%}"
+        )
+    return "\n".join(lines)

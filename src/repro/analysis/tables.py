@@ -1,0 +1,43 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified; columns are sized to their widest cell.
+    """
+    table = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in table:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in table)
+    return "\n".join(parts)
+
+
+def format_joules(value: float) -> str:
+    """Joules with adaptive units (J / kJ / MJ)."""
+    if abs(value) >= 1e6:
+        return f"{value / 1e6:.2f} MJ"
+    if abs(value) >= 1e3:
+        return f"{value / 1e3:.1f} kJ"
+    return f"{value:.1f} J"
+
+
+def format_fraction(value: float) -> str:
+    """A ratio as a percentage string."""
+    return f"{value * 100:.1f}%"

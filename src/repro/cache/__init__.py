@@ -1,0 +1,13 @@
+"""CacheSim: the storage cache, replacement policies, and write policies.
+
+The storage cache sits between the application trace and the disk array
+(Figure 1 of the paper). Its replacement policy decides *which* blocks
+miss, and therefore *when* each disk sees requests — the lever the whole
+paper is about. Write policies decide when dirty data reaches disk.
+"""
+
+from repro.cache.block import BlockState
+from repro.cache.cache import AccessResult, StorageCache
+from repro.cache.stats import CacheStats
+
+__all__ = ["AccessResult", "BlockState", "CacheStats", "StorageCache"]

@@ -1,0 +1,200 @@
+"""The storage cache.
+
+:class:`StorageCache` holds block metadata, drives the replacement
+policy through its contract, and enforces capacity. It knows nothing
+about disks or write semantics — the engine and the write policy react
+to the eviction list it returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.block import BlockKey, BlockState, disk_of
+from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.stats import CacheStats
+from repro.errors import ConfigurationError, SimulationError
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    #: Blocks pushed out to make room, with their final state (the
+    #: write policy must persist the dirty ones).
+    evicted: list[tuple[BlockKey, BlockState]] = field(default_factory=list)
+
+
+class StorageCache:
+    """Block cache with pluggable replacement policy.
+
+    Args:
+        capacity_blocks: Maximum resident blocks; ``None`` simulates the
+            paper's infinite cache (only cold misses reach the disks).
+        policy: Replacement policy instance. Ignored for eviction when
+            capacity is infinite, but still notified of accesses so
+            policy-side statistics remain meaningful.
+    """
+
+    def __init__(
+        self, capacity_blocks: int | None, policy: ReplacementPolicy
+    ) -> None:
+        if capacity_blocks is not None and capacity_blocks < 1:
+            raise ConfigurationError(
+                f"capacity_blocks must be >= 1 or None, got {capacity_blocks}"
+            )
+        self.capacity = capacity_blocks
+        self.policy = policy
+        self.stats = CacheStats()
+        self._blocks: dict[BlockKey, BlockState] = {}
+        self._dirty_by_disk: dict[int, set[BlockKey]] = {}
+        self._pinned = 0
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, key: BlockKey) -> bool:
+        return key in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def state(self, key: BlockKey) -> BlockState:
+        """Metadata of a resident block (KeyError if absent)."""
+        return self._blocks[key]
+
+    def dirty_blocks(self, disk_id: int) -> list[BlockKey]:
+        """Dirty (or logged) blocks belonging to ``disk_id``, sorted by
+        block number — the order an eager flush writes them."""
+        return sorted(self._dirty_by_disk.get(disk_id, ()))
+
+    def dirty_count(self, disk_id: int) -> int:
+        return len(self._dirty_by_disk.get(disk_id, ()))
+
+    @property
+    def pinned_count(self) -> int:
+        return self._pinned
+
+    # -- the access path -----------------------------------------------------
+
+    def access(self, key: BlockKey, time: float, is_write: bool) -> AccessResult:
+        """Look up ``key``; on a miss, insert it and evict as needed.
+
+        The caller is responsible for any disk I/O implied by the miss
+        and by the returned evictions.
+        """
+        hit = key in self._blocks
+        self.stats.record_access(key, hit, is_write)
+        self.policy.on_access(key, time, hit)
+        if hit:
+            state = self._blocks[key]
+            if state.prefetched:
+                state.prefetched = False
+                self.stats.prefetch_hits += 1
+            return AccessResult(hit=True)
+        evicted = self._make_room(time)
+        self._blocks[key] = BlockState()
+        self.policy.on_insert(key, time)
+        return AccessResult(hit=False, evicted=evicted)
+
+    def admit(self, key: BlockKey, time: float) -> AccessResult:
+        """Insert a block without a demand access (prefetch admission).
+
+        The replacement policy sees only ``on_insert`` — a prefetch is
+        not a reference, so it must not refresh recency or feed the PA
+        classifier. No-op if the block is already resident.
+        """
+        if key in self._blocks:
+            return AccessResult(hit=True)
+        evicted = self._make_room(time)
+        self._blocks[key] = BlockState(prefetched=True)
+        self.policy.on_insert(key, time)
+        self.stats.prefetch_admissions += 1
+        return AccessResult(hit=False, evicted=evicted)
+
+    def _make_room(self, time: float) -> list[tuple[BlockKey, BlockState]]:
+        if self.capacity is None:
+            return []
+        evicted: list[tuple[BlockKey, BlockState]] = []
+        while len(self._blocks) >= self.capacity:
+            # Pinned victims are set aside (not re-inserted) until a
+            # real victim is found: the policy forgets each candidate
+            # as it offers it, so every round makes progress even for
+            # policies whose ranking would re-offer the same pinned
+            # block forever (Belady, OPG).
+            skipped: list[BlockKey] = []
+            victim = None
+            while len(self.policy):
+                candidate = self.policy.evict(time)
+                state = self._blocks.get(candidate)
+                if state is None:
+                    raise SimulationError(
+                        f"policy evicted non-resident block {candidate}"
+                    )
+                if state.pinned:
+                    skipped.append(candidate)
+                    continue
+                victim = candidate
+                break
+            for key in skipped:
+                self.policy.on_insert(key, time)
+            if victim is None:
+                raise SimulationError(
+                    "cache cannot evict: all resident blocks are pinned "
+                    f"({self._pinned} logged blocks); the write policy "
+                    "must flush before the cache fills with pinned blocks"
+                )
+            state = self._blocks[victim]
+            self._forget(victim)
+            self.stats.evictions += 1
+            if state.dirty:
+                self.stats.dirty_evictions += 1
+            evicted.append((victim, state))
+        return evicted
+
+    # -- metadata transitions -------------------------------------------------
+
+    def mark_dirty(self, key: BlockKey) -> None:
+        state = self._blocks[key]
+        if not (state.dirty or state.logged):
+            self._dirty_by_disk.setdefault(disk_of(key), set()).add(key)
+        state.dirty = True
+
+    def mark_logged(self, key: BlockKey) -> None:
+        """WTDU: the block's latest data went to the log region."""
+        state = self._blocks[key]
+        if not (state.dirty or state.logged):
+            self._dirty_by_disk.setdefault(disk_of(key), set()).add(key)
+        if not state.logged:
+            self._pinned += 1
+        state.logged = True
+
+    def mark_clean(self, key: BlockKey) -> None:
+        """The block's data reached its home disk."""
+        state = self._blocks[key]
+        if state.logged:
+            self._pinned -= 1
+        if state.dirty or state.logged:
+            bucket = self._dirty_by_disk.get(disk_of(key))
+            if bucket is not None:
+                bucket.discard(key)
+        state.dirty = False
+        state.logged = False
+
+    def invalidate(self, key: BlockKey) -> BlockState | None:
+        """Drop a block outright (returns its state, or None)."""
+        state = self._blocks.get(key)
+        if state is None:
+            return None
+        self._forget(key)
+        self.policy.on_remove(key)
+        return state
+
+    def _forget(self, key: BlockKey) -> None:
+        state = self._blocks.pop(key)
+        if state.logged:
+            self._pinned -= 1
+        if state.dirty or state.logged:
+            bucket = self._dirty_by_disk.get(disk_of(key))
+            if bucket is not None:
+                bucket.discard(key)

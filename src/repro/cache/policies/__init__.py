@@ -1,0 +1,28 @@
+"""Replacement policies.
+
+Online policies: LRU, FIFO, CLOCK, ARC, MQ, LIRS, and the power-aware
+wrapper (PA-LRU and friends, in :mod:`repro.core.pa`). Offline
+policies: Belady's MIN and the paper's OPG (in :mod:`repro.core.opg`).
+:func:`make_policy` builds any of them by name.
+"""
+
+from repro.cache.policies.arc import ARCPolicy
+from repro.cache.policies.base import OfflinePolicy, ReplacementPolicy
+from repro.cache.policies.belady import BeladyPolicy
+from repro.cache.policies.clock import ClockPolicy
+from repro.cache.policies.fifo import FIFOPolicy
+from repro.cache.policies.lirs import LIRSPolicy
+from repro.cache.policies.lru import LRUPolicy
+from repro.cache.policies.mq import MQPolicy
+
+__all__ = [
+    "ARCPolicy",
+    "BeladyPolicy",
+    "ClockPolicy",
+    "FIFOPolicy",
+    "LIRSPolicy",
+    "LRUPolicy",
+    "MQPolicy",
+    "OfflinePolicy",
+    "ReplacementPolicy",
+]

@@ -1,0 +1,131 @@
+"""Replacement policy interface.
+
+The cache drives a policy through a strict contract:
+
+1. ``on_access(key, time, hit)`` — exactly once per block access, in
+   trace order, for hits and misses alike.
+2. ``on_insert(key, time)`` — after a miss's ``on_access``, once the
+   block enters the cache (post-eviction).
+3. ``evict(time)`` — the cache needs a victim; must return a currently
+   resident key. May be called multiple times per insertion if a victim
+   turns out to be pinned (the cache re-inserts pinned victims via
+   ``on_insert``).
+4. ``on_remove(key)`` — a block left the cache (eviction the policy
+   chose, or external invalidation). The policy must forget it.
+
+Offline policies additionally receive the complete access sequence via
+:meth:`OfflinePolicy.prepare` before the run starts; the sequence they
+are prepared with must match the ``on_access`` stream exactly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.cache.block import BlockKey
+from repro.errors import PolicyError
+
+
+class ReplacementPolicy(ABC):
+    """Strategy interface for cache replacement."""
+
+    #: Human-readable policy name, used in reports.
+    name: str = "base"
+
+    @abstractmethod
+    def on_access(self, key: BlockKey, time: float, hit: bool) -> None:
+        """Record one access (hit or miss), in trace order."""
+
+    @abstractmethod
+    def on_insert(self, key: BlockKey, time: float) -> None:
+        """A block entered the cache (after a miss, or re-insert of a
+        pinned victim)."""
+
+    @abstractmethod
+    def evict(self, time: float) -> BlockKey:
+        """Choose and forget a victim. Must raise
+        :class:`~repro.errors.PolicyError` if the policy tracks no
+        blocks."""
+
+    @abstractmethod
+    def on_remove(self, key: BlockKey) -> None:
+        """Forget ``key`` (external removal)."""
+
+    def note_disk_activity(self, disk_id: int, time: float) -> None:
+        """The engine observed a disk access outside the read-miss path
+        (write-through writes, dirty-eviction write-backs, eager
+        flushes). Power-aware policies refine their model of when each
+        disk is active; others ignore it."""
+
+    def __len__(self) -> int:  # pragma: no cover - overridden where used
+        raise NotImplementedError
+
+
+class OfflinePolicy(ReplacementPolicy):
+    """Base for policies that need the future (Belady, OPG).
+
+    Subclasses call :meth:`_advance` once per ``on_access`` to keep the
+    cursor into the prepared sequence synchronized, and read
+    ``self._next_pos`` / ``self._times`` for future knowledge.
+    """
+
+    def __init__(self) -> None:
+        self._prepared = False
+        self._cursor = 0
+        self._times: list[float] = []
+        self._keys: list[BlockKey] = []
+        self._next_pos: list[int] = []
+        self._next_time: list[float] = []
+
+    def prepare(self, accesses: Sequence[tuple[float, BlockKey]]) -> None:
+        """Load the full future access sequence.
+
+        Args:
+            accesses: ``(time, key)`` pairs in the exact order the cache
+                will issue ``on_access`` calls.
+        """
+        n = len(accesses)
+        self._times = [t for t, _ in accesses]
+        self._keys = [k for _, k in accesses]
+        inf = float("inf")
+        self._next_pos = [n] * n
+        self._next_time = [inf] * n
+        last_seen: dict[BlockKey, int] = {}
+        for i in range(n - 1, -1, -1):
+            key = self._keys[i]
+            nxt = last_seen.get(key, n)
+            self._next_pos[i] = nxt
+            self._next_time[i] = self._times[nxt] if nxt < n else inf
+            last_seen[key] = i
+        self._first_pos = last_seen  # first occurrence of each key
+        self._cursor = 0
+        self._prepared = True
+
+    @property
+    def prepared(self) -> bool:
+        return self._prepared
+
+    def _advance(self, key: BlockKey) -> int:
+        """Consume one access; returns its position in the sequence.
+
+        Raises:
+            PolicyError: If the policy was not prepared, the sequence is
+                exhausted, or the access does not match the prepared
+                sequence (which would silently corrupt future
+                knowledge).
+        """
+        if not self._prepared:
+            raise PolicyError(
+                f"{self.name}: offline policy used without prepare()"
+            )
+        i = self._cursor
+        if i >= len(self._keys):
+            raise PolicyError(f"{self.name}: access beyond prepared sequence")
+        if self._keys[i] != key:
+            raise PolicyError(
+                f"{self.name}: access #{i} is {key}, but the prepared "
+                f"sequence expects {self._keys[i]}"
+            )
+        self._cursor = i + 1
+        return i

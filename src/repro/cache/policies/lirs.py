@@ -1,0 +1,195 @@
+"""LIRS — Low Inter-reference Recency Set replacement (Jiang & Zhang,
+SIGMETRICS'02).
+
+Cited by the paper as a combinable storage-cache policy. LIRS ranks
+blocks by the recency of their *previous* access (inter-reference
+recency, IRR): blocks with low IRR ("LIR") occupy most of the cache;
+high-IRR blocks ("HIR") pass through a small resident queue ``Q``.
+
+Data structures: stack ``S`` holds LIR blocks plus recently-seen HIR
+blocks (resident or ghost); queue ``Q`` holds the resident HIR blocks,
+which are the eviction candidates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from enum import Enum, auto
+
+from repro.cache.block import BlockKey
+from repro.cache.policies.base import ReplacementPolicy
+from repro.errors import ConfigurationError, PolicyError
+
+
+class _Kind(Enum):
+    LIR = auto()
+    HIR_RESIDENT = auto()
+    HIR_GHOST = auto()
+
+
+class LIRSPolicy(ReplacementPolicy):
+    """LIRS replacement.
+
+    Args:
+        capacity: Cache size in blocks.
+        hir_fraction: Fraction of the cache reserved for resident HIR
+            blocks (the original paper suggests ~1%).
+        ghost_factor: Bound on non-resident (ghost) stack entries, as a
+            multiple of capacity.
+    """
+
+    name = "LIRS"
+
+    def __init__(
+        self,
+        capacity: int,
+        hir_fraction: float = 0.01,
+        ghost_factor: int = 2,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"LIRS capacity must be >= 1, got {capacity}"
+            )
+        self.l_hirs = max(1, int(capacity * hir_fraction))
+        self.l_lirs = max(1, capacity - self.l_hirs)
+        self.ghost_capacity = max(capacity * ghost_factor, 16)
+        self._kind: dict[BlockKey, _Kind] = {}
+        self._stack: OrderedDict[BlockKey, None] = OrderedDict()  # S
+        self._queue: OrderedDict[BlockKey, None] = OrderedDict()  # Q
+        self._lir_count = 0
+        self._resident = 0
+        self._ghosts = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _stack_push(self, key: BlockKey) -> None:
+        self._stack[key] = None
+        self._stack.move_to_end(key)
+
+    def _prune(self) -> None:
+        """Pop the stack bottom until it is a LIR block."""
+        while self._stack:
+            bottom = next(iter(self._stack))
+            kind = self._kind.get(bottom)
+            if kind is _Kind.LIR:
+                return
+            del self._stack[bottom]
+            if kind is _Kind.HIR_GHOST:
+                del self._kind[bottom]
+                self._ghosts -= 1
+            # HIR_RESIDENT blocks stay tracked via Q.
+
+    def _demote_bottom_lir(self) -> None:
+        """Turn the stack's bottom LIR block into a resident HIR block."""
+        bottom = next(iter(self._stack))
+        del self._stack[bottom]
+        self._kind[bottom] = _Kind.HIR_RESIDENT
+        self._queue[bottom] = None
+        self._lir_count -= 1
+        self._prune()
+
+    def _limit_ghosts(self) -> None:
+        if self._ghosts <= self.ghost_capacity:
+            return
+        for key in list(self._stack):
+            if self._kind.get(key) is _Kind.HIR_GHOST:
+                del self._stack[key]
+                del self._kind[key]
+                self._ghosts -= 1
+                if self._ghosts <= self.ghost_capacity:
+                    break
+        self._prune()
+
+    # -- policy contract ---------------------------------------------------------
+
+    def on_access(self, key: BlockKey, time: float, hit: bool) -> None:
+        if not hit:
+            return  # classification happens in on_insert
+        kind = self._kind.get(key)
+        if kind is _Kind.LIR:
+            was_bottom = next(iter(self._stack)) == key
+            self._stack_push(key)
+            if was_bottom:
+                self._prune()
+        elif kind is _Kind.HIR_RESIDENT:
+            if key in self._stack:
+                # low IRR proven: promote to LIR
+                self._kind[key] = _Kind.LIR
+                self._lir_count += 1
+                self._stack_push(key)
+                self._queue.pop(key, None)
+                if self._lir_count > self.l_lirs:
+                    self._demote_bottom_lir()
+            else:
+                # long IRR: stays HIR, gets a fresh stack entry
+                self._stack_push(key)
+                self._queue.move_to_end(key)
+        else:
+            raise PolicyError(f"LIRS: hit on untracked block {key}")
+
+    def on_insert(self, key: BlockKey, time: float) -> None:
+        kind = self._kind.get(key)
+        if kind in (_Kind.LIR, _Kind.HIR_RESIDENT):
+            # pinned-victim re-insert; already tracked as resident
+            return
+        self._resident += 1
+        if kind is _Kind.HIR_GHOST:
+            # reuse within stack depth: becomes LIR
+            self._ghosts -= 1
+            self._kind[key] = _Kind.LIR
+            self._lir_count += 1
+            self._stack_push(key)
+            if self._lir_count > self.l_lirs:
+                self._demote_bottom_lir()
+            return
+        if self._lir_count < self.l_lirs:
+            # cold cache: fill the LIR partition directly
+            self._kind[key] = _Kind.LIR
+            self._lir_count += 1
+            self._stack_push(key)
+            return
+        self._kind[key] = _Kind.HIR_RESIDENT
+        self._stack_push(key)
+        self._queue[key] = None
+        self._limit_ghosts()
+
+    def evict(self, time: float) -> BlockKey:
+        if self._queue:
+            key, _ = self._queue.popitem(last=False)
+            if key in self._stack:
+                self._kind[key] = _Kind.HIR_GHOST
+                self._ghosts += 1
+            else:
+                del self._kind[key]
+            self._resident -= 1
+            return key
+        # Degenerate case: everything is LIR — evict the stack bottom.
+        for key in self._stack:
+            if self._kind.get(key) is _Kind.LIR:
+                del self._stack[key]
+                del self._kind[key]
+                self._lir_count -= 1
+                self._resident -= 1
+                self._prune()
+                return key
+        raise PolicyError("LIRS: evict with no resident blocks")
+
+    def on_remove(self, key: BlockKey) -> None:
+        kind = self._kind.get(key)
+        if kind is _Kind.LIR:
+            self._stack.pop(key, None)
+            del self._kind[key]
+            self._lir_count -= 1
+            self._resident -= 1
+            self._prune()
+        elif kind is _Kind.HIR_RESIDENT:
+            self._queue.pop(key, None)
+            if key in self._stack:
+                self._kind[key] = _Kind.HIR_GHOST
+                self._ghosts += 1
+            else:
+                del self._kind[key]
+            self._resident -= 1
+
+    def __len__(self) -> int:
+        return self._resident

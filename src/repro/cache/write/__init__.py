@@ -1,0 +1,35 @@
+"""Storage cache write policies (Section 6 of the paper).
+
+Four policies, ordered by how aggressively they defer disk writes:
+
+* :class:`WriteThroughPolicy` (WT) — every write goes to disk
+  immediately; strongest persistency, most disk activity.
+* :class:`WriteBackPolicy` (WB) — dirty blocks written only on
+  eviction; fewest writes, weakest persistency.
+* :class:`WBEUPolicy` (write-back with eager update) — write-back, plus
+  all of a disk's dirty blocks are flushed whenever that disk becomes
+  active, so the writes piggyback on an already-paid spin-up.
+* :class:`WTDUPolicy` (write-through with deferred update) — writes for
+  parked disks go to an always-active log device (timestamped log
+  regions with crash recovery), preserving WT-comparable persistency
+  while letting data disks sleep.
+"""
+
+from repro.cache.write.base import WritePolicy
+from repro.cache.write.log_region import LogDevice, LogRegion
+from repro.cache.write.periodic import PeriodicFlushPolicy
+from repro.cache.write.wbeu import WBEUPolicy
+from repro.cache.write.write_back import WriteBackPolicy
+from repro.cache.write.write_through import WriteThroughPolicy
+from repro.cache.write.wtdu import WTDUPolicy
+
+__all__ = [
+    "LogDevice",
+    "LogRegion",
+    "PeriodicFlushPolicy",
+    "WBEUPolicy",
+    "WriteBackPolicy",
+    "WritePolicy",
+    "WriteThroughPolicy",
+    "WTDUPolicy",
+]

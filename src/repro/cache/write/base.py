@@ -1,0 +1,81 @@
+"""Write policy interface.
+
+A write policy reacts to three engine events:
+
+* ``on_write(key, time)`` — a write access just landed in the cache
+  (the cache insert, including write-allocate on a miss, has already
+  happened). Returns the latency the *client* observes beyond the
+  cache access itself (e.g. the synchronous disk write of WT).
+* ``on_evicted(key, state, time)`` — a block left the cache; if its
+  state is dirty the policy must persist it now.
+* ``after_read_wake(disk_id, time, woke)`` — a read miss was just
+  serviced on ``disk_id``; ``woke`` says whether the miss spun the disk
+  up from a parked state. WBEU/WTDU use this to piggyback flushes on
+  the already-paid spin-up.
+
+Policies receive the cache and disk array via :meth:`attach` before the
+run starts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.cache.block import BlockKey, BlockState
+from repro.cache.cache import StorageCache
+from repro.disk.array import DiskArray
+from repro.errors import SimulationError
+
+
+class WritePolicy(ABC):
+    """Strategy interface for handling writes."""
+
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.cache: StorageCache | None = None
+        self.array: DiskArray | None = None
+        #: Disk writes issued by this policy (reporting).
+        self.disk_writes = 0
+        #: Callback (disk_id, time) invoked for every disk write, so
+        #: power-aware replacement policies can track disk activity.
+        self.activity_listener = None
+
+    def attach(
+        self,
+        cache: StorageCache,
+        array: DiskArray,
+        activity_listener=None,
+    ) -> None:
+        """Wire the policy to the run's cache and disk array."""
+        self.cache = cache
+        self.array = array
+        self.activity_listener = activity_listener
+
+    def _require_attached(self) -> None:
+        if self.cache is None or self.array is None:
+            raise SimulationError(f"{self.name}: write policy not attached")
+
+    @abstractmethod
+    def on_write(self, key: BlockKey, time: float) -> float:
+        """Handle a write access; return extra client-visible latency."""
+
+    def on_evicted(self, key: BlockKey, state: BlockState, time: float) -> None:
+        """Handle an evicted block (default: nothing to persist)."""
+
+    def after_read_wake(self, disk_id: int, time: float, woke: bool) -> None:
+        """A read miss was serviced on ``disk_id`` (default: no-op)."""
+
+    def pending_dirty(self) -> int:
+        """Blocks whose latest data has not reached their home disk."""
+        return 0
+
+    def _write_to_disk(self, key: BlockKey, time: float) -> float:
+        """Issue the physical write; returns its response time."""
+        self._require_attached()
+        disk, block = key
+        response = self.array.submit(disk, time, block, 1, is_write=True)
+        self.disk_writes += 1
+        if self.activity_listener is not None:
+            self.activity_listener(disk, time)
+        return response.response_time_s

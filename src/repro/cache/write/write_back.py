@@ -1,0 +1,32 @@
+"""Write-back: dirty blocks reach disk only when evicted."""
+
+from __future__ import annotations
+
+from repro.cache.block import BlockKey, BlockState
+from repro.cache.write.base import WritePolicy
+
+
+class WriteBackPolicy(WritePolicy):
+    """WB — fewest disk writes, weakest persistency.
+
+    Writes complete at cache speed; the dirty block is persisted when
+    the replacement policy pushes it out. A dirty eviction aimed at a
+    parked disk pays that disk's spin-up — the failure mode WBEU fixes.
+    """
+
+    name = "write-back"
+
+    def on_write(self, key: BlockKey, time: float) -> float:
+        self._require_attached()
+        self.cache.mark_dirty(key)
+        return 0.0
+
+    def on_evicted(self, key: BlockKey, state: BlockState, time: float) -> None:
+        if state.dirty:
+            self._write_to_disk(key, time)
+
+    def pending_dirty(self) -> int:
+        self._require_attached()
+        return sum(
+            self.cache.dirty_count(d.disk_id) for d in self.array.disks
+        )

@@ -1,0 +1,21 @@
+"""Write-through: every write is synchronously committed to disk."""
+
+from __future__ import annotations
+
+from repro.cache.block import BlockKey
+from repro.cache.write.base import WritePolicy
+
+
+class WriteThroughPolicy(WritePolicy):
+    """WT — the paper's persistency baseline.
+
+    The client is not acknowledged until the block is on disk, so the
+    write's disk response time (including any spin-up the write
+    triggers) is client-visible latency. Cached copies stay clean, so
+    evictions never write.
+    """
+
+    name = "write-through"
+
+    def on_write(self, key: BlockKey, time: float) -> float:
+        return self._write_to_disk(key, time)

@@ -1,0 +1,29 @@
+"""The paper's primary contribution: power-aware cache management.
+
+* :mod:`repro.core.opg` — the offline power-aware greedy algorithm
+  (Section 3.2) with its deterministic-miss machinery
+  (:mod:`repro.core.deterministic`).
+* :mod:`repro.core.pa` — the online PA framework (Section 4): per-epoch
+  per-disk workload characterization (:mod:`repro.core.bloom`,
+  :mod:`repro.core.histogram`, :mod:`repro.core.classifier`) wrapped
+  around any base replacement policy; PA-LRU is the paper's instance.
+* :mod:`repro.core.energy_optimal` — exhaustive search for the
+  energy-optimal schedule on tiny instances (stands in for the
+  technical report's dynamic program; used to validate OPG).
+"""
+
+from repro.core.bloom import BloomFilter
+from repro.core.classifier import DiskClass, DiskClassifier
+from repro.core.histogram import IntervalHistogram
+from repro.core.opg import OPGPolicy
+from repro.core.pa import PowerAwarePolicy, make_pa_lru
+
+__all__ = [
+    "BloomFilter",
+    "DiskClass",
+    "DiskClassifier",
+    "IntervalHistogram",
+    "OPGPolicy",
+    "PowerAwarePolicy",
+    "make_pa_lru",
+]

@@ -1,0 +1,77 @@
+"""Deterministic-miss timelines for OPG (Section 3.2).
+
+OPG reasons about *deterministic misses*: accesses that are bound to
+reach the disk no matter what the replacement algorithm does from now
+on — initially every cold miss, plus (after each eviction) the evicted
+block's next reference. For penalty computation what matters per disk
+is the sorted set of times the disk is known to be active: past actual
+accesses and future deterministic misses. A block access at time ``t``
+has a *leader* (closest known access at or before ``t``) and a
+*follower* (closest known access after ``t``); evicting the block
+splits the leader→follower idle period in two.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Neighbors:
+    """Leader/follower of a prospective miss time."""
+
+    leader: float
+    follower: float
+    #: The time coincides with an already-known disk access, so adding
+    #: a miss there is free (the disk is active anyway).
+    coincident: bool
+
+
+class DiskTimeline:
+    """Sorted set of known access times for one disk.
+
+    The simulation start acts as the initial leader (the disk spins up
+    at time zero); ``end`` (the trace end) acts as the final follower.
+    """
+
+    def __init__(self, start: float = 0.0, end: float = math.inf) -> None:
+        self._times: list[float] = [start]
+        self._set: set[float] = {start}
+        self.start = start
+        self.end = end
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __contains__(self, time: float) -> bool:
+        return time in self._set
+
+    def neighbors(self, time: float) -> Neighbors:
+        """Leader/follower for a prospective access at ``time``."""
+        times = self._times
+        i = bisect.bisect_left(times, time)
+        if i < len(times) and times[i] == time:
+            leader = times[i - 1] if i > 0 else self.start
+            follower = times[i + 1] if i + 1 < len(times) else self.end
+            return Neighbors(leader=leader, follower=follower, coincident=True)
+        leader = times[i - 1] if i > 0 else self.start
+        follower = times[i] if i < len(times) else self.end
+        return Neighbors(leader=leader, follower=follower, coincident=False)
+
+    def insert(self, time: float) -> Neighbors | None:
+        """Add a known access time.
+
+        Returns the *pre-insertion* neighbors when the time was new
+        (callers re-evaluate penalties of blocks in that gap), or
+        ``None`` if the time was already known.
+        """
+        if time in self._set:
+            return None
+        i = bisect.bisect_left(self._times, time)
+        leader = self._times[i - 1] if i > 0 else self.start
+        follower = self._times[i] if i < len(self._times) else self.end
+        self._times.insert(i, time)
+        self._set.add(time)
+        return Neighbors(leader=leader, follower=follower, coincident=False)

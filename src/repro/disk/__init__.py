@@ -1,0 +1,36 @@
+"""DiskSim-lite: disk geometry, service timing, and the disk simulator.
+
+The paper runs its storage cache in front of DiskSim augmented with a
+power model. This subpackage reimplements the parts of that substrate
+the evaluation depends on:
+
+* :mod:`repro.disk.geometry` — LBA ↔ cylinder/head/sector mapping.
+* :mod:`repro.disk.seek` — the three-point seek-time curve.
+* :mod:`repro.disk.timing` — rotational positioning and service-time
+  computation.
+* :mod:`repro.disk.disk` — :class:`SimulatedDisk`: a FIFO-queued disk
+  that services block requests, integrates a DPM scheme over its idle
+  gaps, and keeps a full :class:`~repro.power.accounting.EnergyAccount`.
+* :mod:`repro.disk.array` — :class:`DiskArray`: the multi-disk storage
+  backend addressed as ``(disk_id, block)``.
+"""
+
+from repro.disk.array import DiskArray
+from repro.disk.disk import DiskResponse, SimulatedDisk
+from repro.disk.geometry import DiskGeometry
+from repro.disk.multispeed import AllSpeedServiceDisk
+from repro.disk.seek import SeekModel
+from repro.disk.timing import ServiceTimeModel
+from repro.disk.zoned import Zone, ZonedDiskGeometry
+
+__all__ = [
+    "AllSpeedServiceDisk",
+    "DiskArray",
+    "DiskGeometry",
+    "DiskResponse",
+    "SeekModel",
+    "ServiceTimeModel",
+    "SimulatedDisk",
+    "Zone",
+    "ZonedDiskGeometry",
+]

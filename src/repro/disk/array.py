@@ -1,0 +1,114 @@
+"""The multi-disk storage backend.
+
+:class:`DiskArray` owns one :class:`~repro.disk.disk.SimulatedDisk` per
+spindle and provides array-level submission, finalization, and rolled-up
+energy accounting. Blocks are addressed as ``(disk_id, block)`` — the
+paper's traces are already per-disk, so no striping layer is imposed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.disk.disk import DiskResponse, SimulatedDisk
+from repro.errors import ConfigurationError
+from repro.power.accounting import EnergyAccount
+from repro.power.dpm import DiskPowerManager
+from repro.power.modes import PowerModel
+from repro.power.specs import DiskSpec, build_power_model
+from repro.units import DEFAULT_BLOCK_SIZE
+
+#: Signature of the factory that builds one DPM instance per disk.
+DPMFactory = Callable[[PowerModel], DiskPowerManager]
+
+
+class DiskArray:
+    """A homogeneous array of simulated disks.
+
+    Args:
+        num_disks: Number of spindles.
+        spec: Shared datasheet spec.
+        dpm_factory: Called once per disk with the (shared) power model;
+            must return a fresh DPM instance, since DPM may be stateful.
+        power_model: Optional pre-built model (defaults to the spec's
+            multi-speed model).
+        block_size: Logical block size in bytes.
+        start_time: Simulation epoch for every disk.
+    """
+
+    def __init__(
+        self,
+        num_disks: int,
+        spec: DiskSpec,
+        dpm_factory: DPMFactory,
+        power_model: PowerModel | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        start_time: float = 0.0,
+        disk_cls: type[SimulatedDisk] = SimulatedDisk,
+    ) -> None:
+        if num_disks < 1:
+            raise ConfigurationError(f"num_disks must be >= 1, got {num_disks}")
+        self.spec = spec
+        self.power_model = power_model or build_power_model(spec)
+        self.block_size = block_size
+        self._disks = [
+            disk_cls(
+                disk_id=i,
+                spec=spec,
+                power_model=self.power_model,
+                dpm=dpm_factory(self.power_model),
+                block_size=block_size,
+                start_time=start_time,
+            )
+            for i in range(num_disks)
+        ]
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._disks)
+
+    def __iter__(self) -> Iterator[SimulatedDisk]:
+        return iter(self._disks)
+
+    def __getitem__(self, disk_id: int) -> SimulatedDisk:
+        return self._disks[disk_id]
+
+    @property
+    def disks(self) -> Sequence[SimulatedDisk]:
+        return self._disks
+
+    # -- operation -------------------------------------------------------------
+
+    def submit(
+        self,
+        disk_id: int,
+        arrival: float,
+        block: int,
+        nblocks: int = 1,
+        is_write: bool = False,
+    ) -> DiskResponse:
+        """Submit one request to a member disk."""
+        return self._disks[disk_id].submit(arrival, block, nblocks, is_write)
+
+    def finalize(self, end_time: float) -> None:
+        """Close out trailing idle gaps on every disk."""
+        for disk in self._disks:
+            disk.finalize(end_time)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def total_account(self) -> EnergyAccount:
+        """Array-wide energy ledger (sum over disks)."""
+        total = EnergyAccount()
+        for disk in self._disks:
+            total.merge(disk.account)
+        return total
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(d.account.total_energy_j for d in self._disks)
+
+    def mean_interarrivals(self) -> dict[int, float]:
+        """Per-disk mean request inter-arrival time (Figure 7b)."""
+        return {d.disk_id: d.mean_interarrival_s for d in self._disks}

@@ -1,0 +1,190 @@
+"""The simulated disk: FIFO service, power integration, accounting.
+
+:class:`SimulatedDisk` is trace-driven and lazy: it does nothing until a
+request arrives, at which point the idle gap since its last activity is
+known and handed to the DPM scheme, which reports the energy spent, the
+power-mode residency, and (for online DPM) the spin-up delay the request
+must absorb before service can start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.seek import SeekModel
+from repro.disk.timing import ServiceBreakdown, ServiceTimeModel
+from repro.errors import SimulationError
+from repro.power.accounting import EnergyAccount
+from repro.power.dpm import DiskPowerManager
+from repro.power.modes import PowerModel
+from repro.power.specs import DiskSpec
+from repro.units import DEFAULT_BLOCK_SIZE, TIME_EPS
+
+
+@dataclass(frozen=True)
+class DiskResponse:
+    """Timing outcome of one disk request."""
+
+    arrival: float
+    start_service: float
+    finish: float
+    wake_delay_s: float
+    breakdown: ServiceBreakdown
+
+    @property
+    def response_time_s(self) -> float:
+        """Queueing + wake + service latency seen by the requester."""
+        return self.finish - self.arrival
+
+
+class SimulatedDisk:
+    """One disk: geometry, timing, FIFO queue, DPM, energy ledger.
+
+    Requests must be submitted in non-decreasing arrival order (the
+    engine processes the trace chronologically). A request arriving
+    while the disk is busy queues FIFO; one arriving after an idle gap
+    triggers the DPM reconstruction of that gap.
+
+    Args:
+        disk_id: Identifier used in trace records and reports.
+        spec: Datasheet description (capacity, timing, power).
+        power_model: Multi-speed mode ladder for this disk.
+        dpm: Power-management scheme instance (not shared across disks —
+            stateless schemes may be shared, but a fresh instance per
+            disk is the safe default).
+        block_size: Logical block size in bytes.
+        start_time: Simulation epoch; the disk is idle at full speed at
+            this instant.
+    """
+
+    def __init__(
+        self,
+        disk_id: int,
+        spec: DiskSpec,
+        power_model: PowerModel,
+        dpm: DiskPowerManager,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        start_time: float = 0.0,
+    ) -> None:
+        self.disk_id = disk_id
+        self.spec = spec
+        self.power_model = power_model
+        self.dpm = dpm
+        self.geometry = DiskGeometry(
+            capacity_bytes=spec.capacity_bytes,
+            block_size=block_size,
+            heads=spec.heads,
+            sectors_per_track=spec.sectors_per_track,
+        )
+        self.timing = ServiceTimeModel(
+            geometry=self.geometry,
+            seek_model=SeekModel.from_spec(spec, self.geometry.cylinders),
+            rpm=spec.rpm_max,
+        )
+        self.account = EnergyAccount()
+        self._busy_until = start_time
+        self._cylinder = self.geometry.cylinders // 2
+        self._last_arrival: float | None = None
+        self._interarrival_sum = 0.0
+        self._arrivals = 0
+        self._finalized = False
+
+    # -- state queries -----------------------------------------------------
+
+    @property
+    def busy_until(self) -> float:
+        """Time the disk finishes its current work (idle-gap anchor)."""
+        return self._busy_until
+
+    def is_parked(self, at_time: float) -> bool:
+        """Whether the disk is below full speed at ``at_time``.
+
+        Used by the write policies ("if the destination disk is in a low
+        power mode, write to the log instead"). For online DPM this
+        walks the threshold schedule; for Oracle DPM it is the
+        what-would-it-have-chosen approximation.
+        """
+        if at_time <= self._busy_until:
+            return False
+        return self.dpm.mode_after_idle(at_time - self._busy_until) != 0
+
+    @property
+    def mean_interarrival_s(self) -> float:
+        """Mean gap between request arrivals (Figure 7b statistic)."""
+        if self._arrivals < 2:
+            return float("inf")
+        return self._interarrival_sum / (self._arrivals - 1)
+
+    @property
+    def request_count(self) -> int:
+        return self._arrivals
+
+    # -- operation ----------------------------------------------------------
+
+    def submit(
+        self, arrival: float, block: int, nblocks: int = 1, is_write: bool = False
+    ) -> DiskResponse:
+        """Service one request; returns its timing.
+
+        Raises:
+            SimulationError: On out-of-order arrivals or use after
+                :meth:`finalize`.
+        """
+        if self._finalized:
+            raise SimulationError(f"disk {self.disk_id} already finalized")
+        if self._last_arrival is not None:
+            if arrival < self._last_arrival - TIME_EPS:
+                raise SimulationError(
+                    f"disk {self.disk_id}: arrival {arrival} precedes "
+                    f"previous arrival {self._last_arrival}"
+                )
+            self._interarrival_sum += max(0.0, arrival - self._last_arrival)
+        self._last_arrival = arrival
+        self._arrivals += 1
+
+        wake_delay = 0.0
+        if arrival > self._busy_until + TIME_EPS:
+            outcome = self.dpm.process_idle(arrival - self._busy_until, wake=True)
+            self.account.add_idle(outcome)
+            wake_delay = outcome.wake_delay_s
+            effective = arrival
+        else:
+            effective = self._busy_until
+
+        start_service = effective + wake_delay
+        breakdown, end_cyl = self.timing.service(
+            start_service, self._cylinder, block, nblocks
+        )
+        self._cylinder = end_cyl
+        energy = (
+            breakdown.seek_s * self.power_model.seek_power_w
+            + (breakdown.rotation_s + breakdown.transfer_s)
+            * self.power_model.active_power_w
+        )
+        self.account.add_service(breakdown.total_s, energy)
+        finish = start_service + breakdown.total_s
+        self._busy_until = finish
+        return DiskResponse(
+            arrival=arrival,
+            start_service=start_service,
+            finish=finish,
+            wake_delay_s=wake_delay,
+            breakdown=breakdown,
+        )
+
+    def finalize(self, end_time: float) -> None:
+        """Account the trailing idle gap up to the end of the trace.
+
+        No spin-up is charged — nothing arrives after the trace ends.
+        Idempotent per disk; further submits are rejected.
+        """
+        if self._finalized:
+            return
+        if end_time > self._busy_until + TIME_EPS:
+            outcome = self.dpm.process_idle(
+                end_time - self._busy_until, wake=False
+            )
+            self.account.add_idle(outcome)
+            self._busy_until = end_time
+        self._finalized = True

@@ -1,0 +1,102 @@
+"""Disk geometry: mapping logical blocks to cylinders/heads/sectors.
+
+A deliberately classical (non-zoned) geometry: every track holds the
+same number of sectors, blocks are striped across heads within a
+cylinder before moving to the next cylinder. This is sufficient for the
+paper's purposes — what matters downstream is that seek distance grows
+with logical distance and that transfer time reflects track capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import SECTOR_SIZE
+
+
+@dataclass(frozen=True)
+class DiskAddress:
+    """Physical location of a block: cylinder, head (surface), sector."""
+
+    cylinder: int
+    head: int
+    sector: int
+
+
+class DiskGeometry:
+    """Uniform (non-zoned) disk geometry.
+
+    Args:
+        capacity_bytes: Usable capacity; rounded down to whole blocks.
+        block_size: Logical block size in bytes (multiple of the sector
+            size).
+        heads: Number of recording surfaces.
+        sectors_per_track: Sectors on every track.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        block_size: int,
+        heads: int,
+        sectors_per_track: int,
+    ) -> None:
+        if block_size <= 0 or block_size % SECTOR_SIZE:
+            raise ConfigurationError(
+                f"block_size must be a positive multiple of {SECTOR_SIZE}, "
+                f"got {block_size}"
+            )
+        if heads <= 0 or sectors_per_track <= 0:
+            raise ConfigurationError("heads and sectors_per_track must be > 0")
+        self.block_size = block_size
+        self.heads = heads
+        self.sectors_per_track = sectors_per_track
+        self.sectors_per_block = block_size // SECTOR_SIZE
+        if self.sectors_per_track % self.sectors_per_block:
+            raise ConfigurationError(
+                "sectors_per_track must be a multiple of the block's sectors "
+                f"({self.sectors_per_block})"
+            )
+        self.blocks_per_track = sectors_per_track // self.sectors_per_block
+        self.blocks_per_cylinder = self.blocks_per_track * heads
+        total_blocks = capacity_bytes // block_size
+        self.cylinders = max(1, total_blocks // self.blocks_per_cylinder)
+        #: Number of addressable whole blocks (whole cylinders only).
+        self.num_blocks = self.cylinders * self.blocks_per_cylinder
+
+    def track_sectors(self, cylinder: int) -> int:
+        """Sectors per track at ``cylinder``.
+
+        Constant for the uniform geometry; zoned geometries override
+        this so the timing model sees per-zone track capacities.
+        """
+        return self.sectors_per_track
+
+    def locate(self, block: int) -> DiskAddress:
+        """Map logical block number to its physical address.
+
+        Raises:
+            ValueError: If ``block`` is outside the disk.
+        """
+        if not 0 <= block < self.num_blocks:
+            raise ValueError(
+                f"block {block} out of range [0, {self.num_blocks})"
+            )
+        cylinder, rem = divmod(block, self.blocks_per_cylinder)
+        head, track_block = divmod(rem, self.blocks_per_track)
+        return DiskAddress(
+            cylinder=cylinder,
+            head=head,
+            sector=track_block * self.sectors_per_block,
+        )
+
+    def block_of(self, address: DiskAddress) -> int:
+        """Inverse of :meth:`locate` (sector must be block-aligned)."""
+        if address.sector % self.sectors_per_block:
+            raise ValueError(f"sector {address.sector} is not block-aligned")
+        return (
+            address.cylinder * self.blocks_per_cylinder
+            + address.head * self.blocks_per_track
+            + address.sector // self.sectors_per_block
+        )

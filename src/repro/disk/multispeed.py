@@ -1,0 +1,170 @@
+"""Serve-at-all-speeds multi-speed disk (the DRPM / Carrera design).
+
+Section 2.1 of the paper: "A multi-speed disk can be designed to either
+serve requests at all rotational speeds or serve requests only after a
+transition to the highest speed. Carrera and Bianchini use the first
+option. We choose the second." The main library implements the paper's
+choice (:class:`~repro.disk.disk.SimulatedDisk`); this module
+implements the *first* option so the two designs can be compared — the
+comparison benchmark shows the trade: all-speed service eliminates the
+multi-second wake delays at the cost of degraded transfer rates while
+rotating slowly.
+
+Model (documented approximations):
+
+* A request arriving while the disk rotates at a NAP speed is serviced
+  *at that speed*: rotational latency and transfer time scale by
+  ``rpm_max / rpm``; seeking is speed-independent. Service power is the
+  mode's idle power plus the full-speed active increment.
+* Only standby (spindle stopped) requires a spin-up before service.
+* After service the disk stays at its current speed and continues the
+  threshold descent from there (``PracticalDPM.process_idle_from``).
+* Under load, DRPM ramps speed back up: if consecutive requests arrive
+  within ``ramp_up_gap_s`` of each other, the disk transitions to full
+  speed, paying the mode's spin-up energy; the ramp overlaps subsequent
+  rotation (it is not added to response time) — a deliberately
+  optimistic reading of DRPM's gradual speed modulation.
+"""
+
+from __future__ import annotations
+
+from repro.disk.disk import DiskResponse, SimulatedDisk
+from repro.disk.timing import ServiceBreakdown
+from repro.errors import ConfigurationError, SimulationError
+from repro.power.dpm import PracticalDPM
+from repro.power.modes import PowerModel
+from repro.power.specs import DiskSpec
+from repro.units import DEFAULT_BLOCK_SIZE, TIME_EPS
+
+
+class AllSpeedServiceDisk(SimulatedDisk):
+    """Multi-speed disk that services requests at reduced speeds.
+
+    Args:
+        ramp_up_gap_s: Arrival gap under which the disk ramps back to
+            full speed after servicing (defaults to the NAP1 break-even
+            time when None — bursts justify full speed, sparse traffic
+            does not).
+    """
+
+    def __init__(
+        self,
+        disk_id: int,
+        spec: DiskSpec,
+        power_model: PowerModel,
+        dpm: PracticalDPM,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        start_time: float = 0.0,
+        ramp_up_gap_s: float | None = None,
+    ) -> None:
+        if not isinstance(dpm, PracticalDPM):
+            raise ConfigurationError(
+                "AllSpeedServiceDisk requires threshold (Practical) DPM — "
+                "its state is the position on the descent ladder"
+            )
+        super().__init__(
+            disk_id, spec, power_model, dpm,
+            block_size=block_size, start_time=start_time,
+        )
+        if ramp_up_gap_s is None:
+            from repro.power.envelope import EnergyEnvelope
+
+            ramp_up_gap_s = EnergyEnvelope(power_model).breakeven_time(1)
+        self.ramp_up_gap_s = ramp_up_gap_s
+        self._mode = 0  # current rotational mode after the last service
+        self.slow_services = 0
+        self.ramp_ups = 0
+
+    def submit(
+        self, arrival: float, block: int, nblocks: int = 1, is_write: bool = False
+    ) -> DiskResponse:
+        if self._finalized:
+            raise SimulationError(f"disk {self.disk_id} already finalized")
+        if self._last_arrival is not None:
+            if arrival < self._last_arrival - TIME_EPS:
+                raise SimulationError(
+                    f"disk {self.disk_id}: arrival {arrival} precedes "
+                    f"previous arrival {self._last_arrival}"
+                )
+            self._interarrival_sum += max(0.0, arrival - self._last_arrival)
+        burst = (
+            self._last_arrival is not None
+            and arrival - self._last_arrival < self.ramp_up_gap_s
+        )
+        self._last_arrival = arrival
+        self._arrivals += 1
+
+        wake_delay = 0.0
+        if arrival > self._busy_until + TIME_EPS:
+            gap = arrival - self._busy_until
+            # the gap continues the descent from the current speed; no
+            # automatic spin-up is charged — we only spin up if stopped
+            outcome = self.dpm.process_idle_from(self._mode, gap, wake=False)
+            self._mode = self.dpm.mode_after_idle_from(self._mode, gap)
+            standby = len(self.power_model) - 1
+            if self._mode == standby:
+                # the spindle is stopped: a full spin-up is unavoidable
+                up = self.power_model[standby]
+                outcome.wake_delay_s = up.spinup_time_s
+                outcome.wake_energy_j = up.spinup_energy_j
+                outcome.spinups += 1
+                self._mode = 0
+            self.account.add_idle(outcome)
+            wake_delay = outcome.wake_delay_s
+            effective = arrival
+        else:
+            effective = self._busy_until
+
+        mode = self.power_model[self._mode]
+        speed_factor = (
+            self.power_model[0].rpm / mode.rpm if mode.rpm > 0 else 1.0
+        )
+        start_service = effective + wake_delay
+        breakdown, end_cyl = self.timing.service(
+            start_service, self._cylinder, block, nblocks
+        )
+        if speed_factor != 1.0:
+            self.slow_services += 1
+            breakdown = ServiceBreakdown(
+                seek_s=breakdown.seek_s,
+                rotation_s=breakdown.rotation_s * speed_factor,
+                transfer_s=breakdown.transfer_s * speed_factor,
+            )
+        self._cylinder = end_cyl
+        service_power = mode.power_w + (
+            self.power_model.active_power_w - self.power_model[0].power_w
+        )
+        energy = (
+            breakdown.seek_s * self.power_model.seek_power_w
+            + (breakdown.rotation_s + breakdown.transfer_s) * service_power
+        )
+        self.account.add_service(breakdown.total_s, energy)
+        finish = start_service + breakdown.total_s
+        self._busy_until = finish
+
+        if burst and self._mode != 0:
+            # DRPM ramps back to full speed under load; the transition
+            # overlaps rotation and costs the mode's spin-up energy
+            self.account.add_mode_residency(0, 0.0, 0.0)
+            self.account.transition_energy_j += mode.spinup_energy_j
+            self.account.spinups += 1
+            self.ramp_ups += 1
+            self._mode = 0
+        return DiskResponse(
+            arrival=arrival,
+            start_service=start_service,
+            finish=finish,
+            wake_delay_s=wake_delay,
+            breakdown=breakdown,
+        )
+
+    def finalize(self, end_time: float) -> None:
+        if self._finalized:
+            return
+        if end_time > self._busy_until + TIME_EPS:
+            outcome = self.dpm.process_idle_from(
+                self._mode, end_time - self._busy_until, wake=False
+            )
+            self.account.add_idle(outcome)
+            self._busy_until = end_time
+        self._finalized = True

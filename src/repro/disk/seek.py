@@ -1,0 +1,90 @@
+"""Seek-time model.
+
+The standard three-point curve used by disk simulators: datasheets give
+the single-cylinder, average, and full-stroke seek times; the model
+interpolates with the classic square-root law for short seeks (arm
+acceleration-limited) and a linear law for long seeks (coast-limited).
+
+    t(d) = a + b * sqrt(d)            for d <= d_knee
+    t(d) = c + e * d                  for d >  d_knee
+
+Coefficients are fitted so the curve passes through the three datasheet
+points, is continuous at the knee, and is monotonically non-decreasing.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.power.specs import DiskSpec
+
+#: Fraction of the total stroke treated as "short" (acceleration-bound).
+_KNEE_FRACTION = 1 / 3
+
+#: The average random seek covers about a third of the stroke.
+_AVERAGE_SEEK_FRACTION = 1 / 3
+
+
+class SeekModel:
+    """Seek time as a function of cylinder distance.
+
+    Args:
+        cylinders: Total cylinder count of the disk.
+        single_cylinder_s: Track-to-track seek time.
+        average_s: Datasheet average seek (taken at 1/3 stroke).
+        full_stroke_s: Datasheet full-stroke seek time.
+    """
+
+    def __init__(
+        self,
+        cylinders: int,
+        single_cylinder_s: float,
+        average_s: float,
+        full_stroke_s: float,
+    ) -> None:
+        if cylinders < 2:
+            raise ConfigurationError("seek model needs at least 2 cylinders")
+        if not 0 < single_cylinder_s <= average_s <= full_stroke_s:
+            raise ConfigurationError(
+                "need 0 < single_cylinder <= average <= full_stroke seek"
+            )
+        self.cylinders = cylinders
+        max_dist = cylinders - 1
+        self._knee = max(1, int(max_dist * _KNEE_FRACTION))
+        avg_dist = max(1, int(max_dist * _AVERAGE_SEEK_FRACTION))
+        # Short-seek curve through (1, single) and (avg_dist, average).
+        self._a = single_cylinder_s
+        denom = math.sqrt(avg_dist) - 1.0
+        self._b = (average_s - single_cylinder_s) / denom if denom > 0 else 0.0
+        # Long-seek line through (knee, t_short(knee)) and (max, full).
+        t_knee = self._short(self._knee)
+        span = max_dist - self._knee
+        self._slope = (full_stroke_s - t_knee) / span if span > 0 else 0.0
+        if self._slope < 0:
+            # Datasheet triple incompatible with a monotone knee: flatten.
+            self._slope = 0.0
+        self._t_knee = t_knee
+
+    def _short(self, distance: int) -> float:
+        return self._a + self._b * (math.sqrt(distance) - 1.0)
+
+    def seek_time(self, distance: int) -> float:
+        """Seconds to move the arm ``distance`` cylinders (0 => 0)."""
+        if distance < 0:
+            raise ValueError(f"seek distance must be >= 0, got {distance}")
+        if distance == 0:
+            return 0.0
+        if distance <= self._knee:
+            return self._short(distance)
+        return self._t_knee + self._slope * (distance - self._knee)
+
+    @classmethod
+    def from_spec(cls, spec: DiskSpec, cylinders: int) -> "SeekModel":
+        """Build the model from a :class:`DiskSpec`'s datasheet points."""
+        return cls(
+            cylinders=cylinders,
+            single_cylinder_s=spec.track_to_track_seek_s,
+            average_s=spec.average_seek_s,
+            full_stroke_s=spec.full_stroke_seek_s,
+        )

@@ -1,0 +1,105 @@
+"""Request service-time computation: seek + rotational latency + transfer.
+
+Rotational position is tracked continuously: while the spindle is at
+full speed the angular position advances with wall-clock time, so the
+rotational latency of a request depends on *when* it is serviced — the
+same deterministic behaviour a full disk simulator exhibits, without
+any random sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.seek import SeekModel
+from repro.units import rpm_to_period
+
+
+@dataclass(frozen=True)
+class ServiceBreakdown:
+    """Components of one request's on-disk service."""
+
+    seek_s: float
+    rotation_s: float
+    transfer_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.seek_s + self.rotation_s + self.transfer_s
+
+
+class ServiceTimeModel:
+    """Computes service times against a geometry + seek model.
+
+    Args:
+        geometry: Block layout of the disk.
+        seek_model: Arm movement timing.
+        rpm: Full spindle speed (requests are only served at full speed
+            in this paper's power model).
+    """
+
+    def __init__(
+        self, geometry: DiskGeometry, seek_model: SeekModel, rpm: float
+    ) -> None:
+        self.geometry = geometry
+        self.seek = seek_model
+        self.rotation_period_s = rpm_to_period(rpm)
+        self._sector_angle = 1.0 / geometry.sectors_per_track
+
+    def angular_position(self, time: float) -> float:
+        """Fraction of a revolution (in [0, 1)) at wall-clock ``time``.
+
+        The spindle phase is defined relative to t=0; the simulator only
+        queries this while the disk is at full speed, which is the only
+        time the head can read, so phase drift during speed changes does
+        not affect results.
+        """
+        return (time / self.rotation_period_s) % 1.0
+
+    def service(
+        self, start_time: float, current_cylinder: int, block: int, nblocks: int
+    ) -> tuple[ServiceBreakdown, int]:
+        """Compute the service breakdown for a request.
+
+        Args:
+            start_time: When the head starts moving (disk already at
+                full speed).
+            current_cylinder: Arm position before the request.
+            block: First logical block of the request.
+            nblocks: Number of consecutive blocks transferred.
+
+        Returns:
+            ``(breakdown, end_cylinder)`` — the timing components and
+            the arm's cylinder after the transfer.
+        """
+        if nblocks < 1:
+            raise ValueError(f"nblocks must be >= 1, got {nblocks}")
+        addr = self.geometry.locate(block)
+        # Clamp multi-block requests at the end of the disk.
+        last_block = min(block + nblocks, self.geometry.num_blocks) - 1
+        end_addr = self.geometry.locate(last_block)
+
+        seek_s = self.seek.seek_time(abs(addr.cylinder - current_cylinder))
+        # Rotational latency: wait for the target sector to pass under
+        # the head once the seek completes. The sector angle depends on
+        # the track's capacity (zoned geometries vary it per cylinder).
+        sector_angle = 1.0 / self.geometry.track_sectors(addr.cylinder)
+        at_head = self.angular_position(start_time + seek_s)
+        target = addr.sector * sector_angle
+        delta = target - at_head
+        if delta < 0:
+            delta += 1.0
+        rotation_s = delta * self.rotation_period_s
+
+        # Transfer: consecutive sectors; track/head switches are folded
+        # into the per-sector rate (a simplification that slightly
+        # favours long transfers, uniformly across all policies).
+        sectors = (last_block - block + 1) * self.geometry.sectors_per_block
+        transfer_s = sectors * sector_angle * self.rotation_period_s
+        return (
+            ServiceBreakdown(
+                seek_s=seek_s, rotation_s=rotation_s, transfer_s=transfer_s
+            ),
+            end_addr.cylinder,
+        )

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still being able to discriminate finer-grained conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation, disk, cache, or trace parameter is invalid.
+
+    Raised eagerly at construction time so that misconfiguration is
+    reported before a (potentially long) simulation starts.
+    """
+
+
+class PowerModelError(ReproError):
+    """The disk power model is inconsistent.
+
+    Examples: power levels not strictly decreasing with mode index,
+    a transition with negative time, or an empty mode list.
+    """
+
+
+class TraceError(ReproError):
+    """A trace record or trace file is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an internal inconsistency.
+
+    This indicates a bug (e.g. time moving backwards, eviction from an
+    empty cache) rather than bad user input.
+    """
+
+
+class PolicyError(ReproError):
+    """A replacement or write policy was driven incorrectly.
+
+    Examples: asking an offline policy to run without preparing it with
+    the access sequence, or evicting from an empty policy.
+    """
+
+
+class RecoveryError(ReproError):
+    """Crash recovery of a WTDU log region found corrupt state."""

@@ -1,0 +1,52 @@
+"""Disk power modelling: multi-speed modes, envelopes, DPM, accounting.
+
+This subpackage implements the paper's Section 2 machinery:
+
+* :mod:`repro.power.specs` — datasheet constants for the IBM Ultrastar
+  36Z15 and the linear DRPM extension that derives intermediate-speed
+  (NAP) modes from them.
+* :mod:`repro.power.modes` — the :class:`PowerMode` /
+  :class:`PowerModel` data structures.
+* :mod:`repro.power.envelope` — the per-mode energy lines, the
+  minimum-energy lower envelope of Figure 2, the savings upper envelope
+  of Figure 4, break-even times, and the Irani 2-competitive thresholds.
+* :mod:`repro.power.dpm` — Oracle, Practical (threshold), and always-on
+  disk power management schemes.
+* :mod:`repro.power.accounting` — per-disk energy/time bookkeeping that
+  backs the Figure 7 breakdowns.
+"""
+
+from repro.power.accounting import EnergyAccount
+from repro.power.adaptive import AdaptiveThresholdDPM
+from repro.power.dpm import (
+    AlwaysOnDPM,
+    DiskPowerManager,
+    IdleOutcome,
+    OracleDPM,
+    PracticalDPM,
+)
+from repro.power.envelope import EnergyEnvelope
+from repro.power.modes import PowerMode, PowerModel
+from repro.power.specs import (
+    DiskSpec,
+    ULTRASTAR_36Z15,
+    build_power_model,
+    scale_spinup_cost,
+)
+
+__all__ = [
+    "AdaptiveThresholdDPM",
+    "AlwaysOnDPM",
+    "DiskPowerManager",
+    "DiskSpec",
+    "EnergyAccount",
+    "EnergyEnvelope",
+    "IdleOutcome",
+    "OracleDPM",
+    "PowerMode",
+    "PowerModel",
+    "PracticalDPM",
+    "ULTRASTAR_36Z15",
+    "build_power_model",
+    "scale_spinup_cost",
+]

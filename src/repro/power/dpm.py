@@ -1,0 +1,416 @@
+"""Disk power management schemes: Oracle, Practical (threshold), always-on.
+
+A DPM scheme decides how the spindle behaves during an *idle gap* — the
+interval between the completion of one disk request and the arrival of
+the next. The simulator drives DPM lazily: when the next request
+arrives, the gap length is known and :meth:`DiskPowerManager.process_idle`
+reconstructs what happened during it.
+
+* :class:`OracleDPM` knows the gap length in advance (offline): it
+  parks in the energy-optimal feasible mode and is spinning again just
+  in time, so it never delays a request.
+* :class:`PracticalDPM` is the online threshold scheme: the disk steps
+  down the mode ladder at the Irani 2-competitive thresholds, and a
+  request arriving while the disk is parked pays the spin-up time as
+  response-time delay (plus the remainder of any in-flight spin-down).
+* :class:`AlwaysOnDPM` never leaves mode 0 (the no-power-management
+  baseline).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.power.envelope import EnergyEnvelope
+from repro.power.modes import PowerModel
+
+
+@dataclass
+class IdleOutcome:
+    """What happened on a disk during one idle gap.
+
+    ``energy_j`` covers everything *inside* the gap (mode residency and
+    transitions that ran during it). For Practical DPM a request that
+    finds the disk parked additionally pays ``wake_delay_s`` /
+    ``wake_energy_j`` *after* the gap ends — the engine adds these to
+    response time and energy separately.
+    """
+
+    energy_j: float = 0.0
+    mode_residency_s: dict[int, float] = field(default_factory=dict)
+    transition_time_s: float = 0.0
+    transition_energy_j: float = 0.0
+    spindowns: int = 0
+    spinups: int = 0
+    wake_delay_s: float = 0.0
+    wake_energy_j: float = 0.0
+
+    @property
+    def total_energy_j(self) -> float:
+        """Gap energy plus the wake-up energy charged after it."""
+        return self.energy_j + self.wake_energy_j
+
+    def _add_residency(self, mode: int, seconds: float, power_w: float) -> None:
+        if seconds <= 0:
+            return
+        self.mode_residency_s[mode] = (
+            self.mode_residency_s.get(mode, 0.0) + seconds
+        )
+        self.energy_j += seconds * power_w
+
+
+class DiskPowerManager(ABC):
+    """Strategy interface for disk power management."""
+
+    def __init__(self, model: PowerModel) -> None:
+        self.model = model
+
+    @abstractmethod
+    def process_idle(self, duration: float, wake: bool = True) -> IdleOutcome:
+        """Reconstruct one idle gap of ``duration`` seconds.
+
+        Args:
+            duration: Gap length (>= 0).
+            wake: Whether a request arrives at the end of the gap. Pass
+                ``False`` for the trailing gap at the end of a trace, so
+                no spin-up is charged.
+        """
+
+    def idle_energy(self, duration: float) -> float:
+        """Total energy (gap + wake) for a gap of ``duration`` seconds.
+
+        This is the cost function OPG's energy penalties are computed
+        against; it is exactly consistent with what the simulation
+        engine will charge.
+        """
+        return self.process_idle(duration).total_energy_j
+
+    @abstractmethod
+    def mode_after_idle(self, elapsed: float) -> int:
+        """Mode the disk occupies after being idle for ``elapsed`` seconds.
+
+        Mid-transition states report the *target* mode. Used by write
+        policies to ask "is this disk parked right now?".
+        """
+
+
+class AlwaysOnDPM(DiskPowerManager):
+    """Baseline: the disk idles at full speed through every gap."""
+
+    def process_idle(self, duration: float, wake: bool = True) -> IdleOutcome:
+        if duration < 0:
+            raise ValueError(f"idle duration must be >= 0, got {duration}")
+        outcome = IdleOutcome()
+        outcome._add_residency(0, duration, self.model[0].power_w)
+        return outcome
+
+    def mode_after_idle(self, elapsed: float) -> int:
+        return 0
+
+
+class OracleDPM(DiskPowerManager):
+    """Offline power management with perfect knowledge of gap lengths.
+
+    Charges the Figure 2 lower-envelope energy for each gap and incurs
+    no wake-up delay (the spin-up completes exactly when the next
+    request arrives). This is the paper's upper bound on DPM savings
+    for a given miss sequence.
+    """
+
+    def __init__(self, model: PowerModel, envelope: EnergyEnvelope | None = None):
+        super().__init__(model)
+        self.envelope = envelope or EnergyEnvelope(model)
+
+    def process_idle(self, duration: float, wake: bool = True) -> IdleOutcome:
+        if duration < 0:
+            raise ValueError(f"idle duration must be >= 0, got {duration}")
+        outcome = IdleOutcome()
+        mode = self.envelope.best_mode(duration) if wake else self._final_mode(duration)
+        m = self.model[mode]
+        if mode == 0:
+            outcome._add_residency(0, duration, m.power_w)
+            return outcome
+        if wake:
+            residency = duration - m.round_trip_time_s
+            outcome.transition_time_s = m.round_trip_time_s
+            outcome.transition_energy_j = m.round_trip_energy_j
+            outcome.spinups = 1
+        else:
+            residency = duration - m.spindown_time_s
+            outcome.transition_time_s = m.spindown_time_s
+            outcome.transition_energy_j = m.spindown_energy_j
+        outcome.spindowns = 1
+        outcome.energy_j += outcome.transition_energy_j
+        outcome._add_residency(mode, residency, m.power_w)
+        return outcome
+
+    def _final_mode(self, duration: float) -> int:
+        """Best mode for a trailing gap (spin down, never back up)."""
+        best, best_e = 0, self.model[0].power_w * duration
+        for i in range(1, len(self.model)):
+            m = self.model[i]
+            if duration < m.spindown_time_s:
+                continue
+            e = m.spindown_energy_j + m.power_w * (duration - m.spindown_time_s)
+            if e < best_e:
+                best, best_e = i, e
+        return best
+
+    def idle_energy(self, duration: float) -> float:
+        # Closed form — avoids building an IdleOutcome per penalty query.
+        return self.envelope.min_energy(duration)
+
+    def mode_after_idle(self, elapsed: float) -> int:
+        # Oracle has no online notion of "current mode"; approximate
+        # with the mode it would have parked in had the gap ended now.
+        return self.envelope.best_mode(elapsed) if elapsed > 0 else 0
+
+
+@dataclass(frozen=True)
+class _Step:
+    """One rung of the Practical DPM descent schedule.
+
+    The downshift into ``mode`` begins at cumulative idle time
+    ``start_t``, takes ``shift_time`` and ``shift_energy``, and the disk
+    then resides in ``mode`` until the next rung (or the gap ends).
+    """
+
+    mode: int
+    start_t: float
+    shift_time: float
+    shift_energy: float
+
+
+class PracticalDPM(DiskPowerManager):
+    """Online threshold-based power management (Section 2.2).
+
+    After the disk has been idle for the cumulative times returned by
+    :meth:`EnergyEnvelope.practical_thresholds` it shifts down to the
+    corresponding mode. With those thresholds the scheme is
+    2-competitive with :class:`OracleDPM` in energy. A request arriving
+    while the disk is below mode 0 pays the spin-up (and the remainder
+    of any in-flight spin-down) as a response-time delay.
+
+    Args:
+        model: The disk power model.
+        thresholds: Optional override, ``[(cumulative_idle_s, mode), ...]``
+            strictly increasing in both components. Defaults to the
+            2-competitive thresholds.
+    """
+
+    def __init__(
+        self,
+        model: PowerModel,
+        thresholds: list[tuple[float, int]] | None = None,
+    ) -> None:
+        super().__init__(model)
+        envelope = EnergyEnvelope(model)
+        if thresholds is None:
+            thresholds = envelope.practical_thresholds()
+        self.thresholds = list(thresholds)
+        self._steps = self._build_schedule(self.thresholds)
+
+    def _build_schedule(self, thresholds: list[tuple[float, int]]) -> list[_Step]:
+        steps: list[_Step] = []
+        prev_mode, prev_end = 0, 0.0
+        for start_t, mode in thresholds:
+            if mode <= prev_mode:
+                raise ConfigurationError(
+                    f"thresholds must descend the mode ladder, got mode "
+                    f"{mode} after {prev_mode}"
+                )
+            if start_t < prev_end:
+                raise ConfigurationError(
+                    f"threshold at {start_t}s begins before the previous "
+                    f"downshift completes at {prev_end}s"
+                )
+            shift_time = self.model.downshift_time(prev_mode, mode)
+            shift_energy = self.model.downshift_energy(prev_mode, mode)
+            steps.append(
+                _Step(
+                    mode=mode,
+                    start_t=start_t,
+                    shift_time=shift_time,
+                    shift_energy=shift_energy,
+                )
+            )
+            prev_mode, prev_end = mode, start_t + shift_time
+        return steps
+
+    def process_idle(self, duration: float, wake: bool = True) -> IdleOutcome:
+        if duration < 0:
+            raise ValueError(f"idle duration must be >= 0, got {duration}")
+        outcome = IdleOutcome()
+        current_mode = 0
+        cursor = 0.0  # cumulative idle time already accounted
+        for step in self._steps:
+            if duration <= step.start_t:
+                break
+            # residency in current_mode until the downshift begins
+            outcome._add_residency(
+                current_mode,
+                step.start_t - cursor,
+                self.model[current_mode].power_w,
+            )
+            cursor = step.start_t
+            shift_end = step.start_t + step.shift_time
+            if duration < shift_end:
+                # request arrives mid-spin-down: the downshift completes,
+                # then the disk spins straight back up.
+                frac = (duration - step.start_t) / step.shift_time
+                in_gap = step.shift_energy * frac
+                remainder_t = shift_end - duration
+                outcome.energy_j += in_gap
+                outcome.transition_time_s += duration - step.start_t
+                outcome.transition_energy_j += in_gap
+                outcome.spindowns += 1
+                if wake:
+                    up = self.model[step.mode]
+                    outcome.wake_delay_s = remainder_t + up.spinup_time_s
+                    outcome.wake_energy_j = (
+                        step.shift_energy * (1.0 - frac) + up.spinup_energy_j
+                    )
+                    outcome.spinups += 1
+                return outcome
+            # downshift completed inside the gap
+            outcome.energy_j += step.shift_energy
+            outcome.transition_time_s += step.shift_time
+            outcome.transition_energy_j += step.shift_energy
+            outcome.spindowns += 1
+            current_mode = step.mode
+            cursor = shift_end
+        # gap ends while residing in current_mode
+        outcome._add_residency(
+            current_mode, duration - cursor, self.model[current_mode].power_w
+        )
+        if wake and current_mode != 0:
+            up = self.model[current_mode]
+            outcome.wake_delay_s = up.spinup_time_s
+            outcome.wake_energy_j = up.spinup_energy_j
+            outcome.spinups += 1
+        return outcome
+
+    def mode_after_idle(self, elapsed: float) -> int:
+        if elapsed < 0:
+            raise ValueError(f"elapsed must be >= 0, got {elapsed}")
+        mode = 0
+        for step in self._steps:
+            if elapsed <= step.start_t:
+                break
+            mode = step.mode  # mid-transition reports the target mode
+        return mode
+
+    def process_idle_from(
+        self, start_mode: int, duration: float, wake: bool = True
+    ) -> IdleOutcome:
+        """Reconstruct an idle gap that begins at ``start_mode``.
+
+        Used by serve-at-all-speeds disks (DRPM style), which finish a
+        request while still rotating at a reduced speed: the descent
+        ladder continues from that mode — the disk resides there until
+        the deeper thresholds (whose clocks are unchanged) fire. With
+        ``start_mode == 0`` this is exactly :meth:`process_idle`.
+        """
+        if start_mode == 0:
+            return self.process_idle(duration, wake=wake)
+        if duration < 0:
+            raise ValueError(f"idle duration must be >= 0, got {duration}")
+        outcome = IdleOutcome()
+        current_mode = start_mode
+        cursor = 0.0
+        for step in self._steps:
+            if step.mode <= start_mode:
+                continue  # already at or below this rung
+            if duration <= step.start_t:
+                break
+            outcome._add_residency(
+                current_mode,
+                step.start_t - cursor,
+                self.model[current_mode].power_w,
+            )
+            cursor = step.start_t
+            shift_time = self.model.downshift_time(current_mode, step.mode)
+            shift_energy = self.model.downshift_energy(current_mode, step.mode)
+            shift_end = step.start_t + shift_time
+            if duration < shift_end:
+                frac = (
+                    (duration - step.start_t) / shift_time
+                    if shift_time > 0
+                    else 1.0
+                )
+                in_gap = shift_energy * frac
+                outcome.energy_j += in_gap
+                outcome.transition_time_s += duration - step.start_t
+                outcome.transition_energy_j += in_gap
+                outcome.spindowns += 1
+                if wake:
+                    up = self.model[step.mode]
+                    outcome.wake_delay_s = (
+                        shift_end - duration + up.spinup_time_s
+                    )
+                    outcome.wake_energy_j = (
+                        shift_energy * (1.0 - frac) + up.spinup_energy_j
+                    )
+                    outcome.spinups += 1
+                return outcome
+            outcome.energy_j += shift_energy
+            outcome.transition_time_s += shift_time
+            outcome.transition_energy_j += shift_energy
+            outcome.spindowns += 1
+            current_mode = step.mode
+            cursor = shift_end
+        outcome._add_residency(
+            current_mode, duration - cursor, self.model[current_mode].power_w
+        )
+        if wake and current_mode != 0:
+            up = self.model[current_mode]
+            outcome.wake_delay_s = up.spinup_time_s
+            outcome.wake_energy_j = up.spinup_energy_j
+            outcome.spinups += 1
+        return outcome
+
+    def mode_after_idle_from(self, start_mode: int, elapsed: float) -> int:
+        """Mode occupied after ``elapsed`` idle seconds, starting at
+        ``start_mode`` (see :meth:`process_idle_from`)."""
+        mode = start_mode
+        for step in self._steps:
+            if step.mode <= start_mode:
+                continue
+            if elapsed <= step.start_t:
+                break
+            mode = step.mode
+        return mode
+
+    def idle_energy(self, duration: float) -> float:
+        """Closed-form gap+wake energy (hot path for OPG penalties).
+
+        Arithmetic mirror of :meth:`process_idle` — kept in lockstep by
+        a property test — without building an :class:`IdleOutcome`.
+        """
+        if duration < 0:
+            raise ValueError(f"idle duration must be >= 0, got {duration}")
+        model = self.model
+        energy = 0.0
+        mode = 0
+        cursor = 0.0
+        for step in self._steps:
+            if duration <= step.start_t:
+                break
+            energy += (step.start_t - cursor) * model[mode].power_w
+            shift_end = step.start_t + step.shift_time
+            if duration < shift_end:
+                # full downshift energy (partly as wake) + spin-up
+                return (
+                    energy
+                    + step.shift_energy
+                    + model[step.mode].spinup_energy_j
+                )
+            energy += step.shift_energy
+            mode = step.mode
+            cursor = shift_end
+        energy += (duration - cursor) * model[mode].power_w
+        if mode != 0:
+            energy += model[mode].spinup_energy_j
+        return energy

@@ -1,0 +1,194 @@
+"""Energy envelopes, break-even times, and 2-competitive thresholds.
+
+For an idle interval of length ``t`` spent in mode ``i`` (spin down at
+the start, spin back up just in time), the energy consumed is the line
+
+    c_i(t) = P_i * t + beta_i,   beta_i = E_i^rt - P_i * T_i^rt
+
+where ``E_i^rt``/``T_i^rt`` are the round-trip (down+up) transition
+energy and time for mode ``i``. Mode 0 gives ``c_0(t) = P_0 * t``.
+
+* The **lower envelope** of these lines is the paper's Figure 2: the
+  minimum energy an omniscient power manager can spend on an idle gap of
+  known length (used by Oracle DPM and by OPG's energy penalties).
+* The **upper envelope** of the savings lines ``s_i(t) = c_0(t) - c_i(t)``
+  is Figure 4: the maximum energy saved by parking during the gap.
+* The **intersection points** of consecutive envelope lines are the
+  Irani et al. thresholds that make threshold-based (Practical) DPM
+  2-competitive with Oracle DPM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PowerModelError
+from repro.power.modes import PowerModel
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class EnvelopeSegment:
+    """One linear piece of the lower envelope.
+
+    The envelope equals mode ``mode``'s line on ``[start_t, end_t)``.
+    """
+
+    mode: int
+    start_t: float
+    end_t: float
+
+
+class EnergyEnvelope:
+    """Per-mode energy lines and their lower/upper envelopes.
+
+    Args:
+        model: The disk's multi-speed power model.
+    """
+
+    def __init__(self, model: PowerModel) -> None:
+        self.model = model
+        self._p = [m.power_w for m in model]
+        self._beta = [
+            m.round_trip_energy_j - m.power_w * m.round_trip_time_s
+            for m in model
+        ]
+        self._rt = [m.round_trip_time_s for m in model]
+        self._segments = self._build_lower_envelope()
+
+    # -- per-mode lines ---------------------------------------------------
+
+    def line_energy(self, mode: int, t: float) -> float:
+        """Energy of mode ``mode``'s line at interval length ``t``.
+
+        This is the raw line ``c_i(t)``, with no feasibility check; it
+        is what the threshold construction operates on.
+        """
+        return self._p[mode] * t + self._beta[mode]
+
+    def mode_energy(self, mode: int, t: float) -> float:
+        """Feasible energy for parking in ``mode`` over a gap of ``t``.
+
+        Returns ``inf`` when the gap is too short to complete the
+        round-trip transition (mode 0 is always feasible).
+        """
+        if t < self._rt[mode]:
+            return _INF
+        return self.line_energy(mode, t)
+
+    # -- lower envelope (Figure 2) -----------------------------------------
+
+    def min_energy(self, t: float) -> float:
+        """Minimum energy over all feasible modes for a gap of length ``t``.
+
+        This is the Figure 2 lower envelope, restricted to feasible
+        modes; it is the energy Oracle DPM charges for the gap.
+        """
+        if t < 0:
+            raise ValueError(f"interval length must be >= 0, got {t}")
+        return min(self.mode_energy(i, t) for i in range(len(self.model)))
+
+    def best_mode(self, t: float) -> int:
+        """The feasible mode minimizing energy for a gap of length ``t``.
+
+        Ties break toward the shallower (lower-index) mode, which also
+        minimizes transition wear.
+        """
+        if t < 0:
+            raise ValueError(f"interval length must be >= 0, got {t}")
+        best, best_e = 0, self.mode_energy(0, t)
+        for i in range(1, len(self.model)):
+            e = self.mode_energy(i, t)
+            if e < best_e:
+                best, best_e = i, e
+        return best
+
+    # -- savings envelope (Figure 4) ----------------------------------------
+
+    def savings(self, mode: int, t: float) -> float:
+        """Energy saved vs staying in mode 0, for feasible parking in ``mode``.
+
+        Can be negative for short gaps (transition costs dominate);
+        ``-inf`` never occurs because infeasible modes return ``-inf``
+        clamped to the always-feasible 0 of mode 0 by callers using
+        :meth:`max_savings`.
+        """
+        e = self.mode_energy(mode, t)
+        if math.isinf(e):
+            return -_INF
+        return self.line_energy(0, t) - e
+
+    def max_savings(self, t: float) -> float:
+        """The Figure 4 upper envelope: max energy saved on a gap of ``t``.
+
+        Never negative — mode 0 always offers zero savings.
+        """
+        return max(self.savings(i, t) for i in range(len(self.model)))
+
+    # -- break-even and thresholds -------------------------------------------
+
+    def breakeven_time(self, mode: int) -> float:
+        """Smallest gap for which parking in ``mode`` is worthwhile.
+
+        Solves ``c_0(t) = c_i(t)`` and clamps to the round-trip
+        transition time (a shorter gap cannot physically fit the
+        transition).
+        """
+        if mode == 0:
+            return 0.0
+        denom = self._p[0] - self._p[mode]
+        if denom <= 0:
+            raise PowerModelError("mode power not below mode 0 power")
+        crossing = self._beta[mode] / denom
+        return max(crossing, self._rt[mode])
+
+    @property
+    def segments(self) -> tuple[EnvelopeSegment, ...]:
+        """The lower envelope as ordered linear segments."""
+        return self._segments
+
+    def practical_thresholds(self) -> list[tuple[float, int]]:
+        """Irani 2-competitive thresholds for threshold-based DPM.
+
+        Returns ``[(t_1, m_1), (t_2, m_2), ...]``: after the disk has
+        been idle for cumulative time ``t_k`` it transitions into mode
+        ``m_k``. These are the intersection points of consecutive
+        lower-envelope lines (Section 2.2 of the paper).
+        """
+        return [
+            (seg.start_t, seg.mode)
+            for seg in self._segments
+            if seg.mode != 0
+        ]
+
+    def _build_lower_envelope(self) -> tuple[EnvelopeSegment, ...]:
+        """Lower envelope of the lines, by slope-ordered hull sweep.
+
+        Lines are already ordered by strictly decreasing slope (power
+        decreases along the ladder), so a stack sweep suffices: a new
+        line joins the envelope where it crosses the current last line,
+        popping lines whose segment it swallows.
+        """
+        # stack of (mode, start_t)
+        stack: list[tuple[int, float]] = [(0, 0.0)]
+        for i in range(1, len(self.model)):
+            while stack:
+                top_mode, top_start = stack[-1]
+                denom = self._p[top_mode] - self._p[i]
+                # slopes strictly decrease, so denom > 0
+                cross = (self._beta[i] - self._beta[top_mode]) / denom
+                if cross <= top_start:
+                    # new line dominates the whole top segment
+                    stack.pop()
+                    continue
+                stack.append((i, cross))
+                break
+            else:
+                stack.append((i, 0.0))
+        segments = []
+        for k, (mode, start) in enumerate(stack):
+            end = stack[k + 1][1] if k + 1 < len(stack) else _INF
+            segments.append(EnvelopeSegment(mode=mode, start_t=start, end_t=end))
+        return tuple(segments)

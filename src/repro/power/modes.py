@@ -1,0 +1,166 @@
+"""Power mode data structures for multi-speed disks.
+
+A disk is modelled as a ladder of power modes, ordered by decreasing
+power draw. Mode 0 is the full-speed idle mode (the paper does not
+distinguish active from idle power states for DPM purposes — both run
+the spindle at full speed); the last mode is standby (spindle stopped).
+Intermediate NAP modes spin at reduced RPM.
+
+Transition costs are stored *relative to full speed* (mode 0): each mode
+records the time and energy needed to spin down from mode 0 into it, and
+to spin up from it back to mode 0. Under the linear DRPM model these
+compose, so the cost of a downshift between two low-power modes is the
+difference of their from-full-speed costs; :class:`PowerModel` exposes
+helpers that encapsulate that arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import PowerModelError
+
+
+@dataclass(frozen=True)
+class PowerMode:
+    """One spindle power mode.
+
+    Attributes:
+        index: Position in the ladder; 0 is full-speed idle.
+        name: Human-readable label (``IDLE``, ``NAP1`` … ``STANDBY``).
+        rpm: Spindle speed in this mode (0 for standby).
+        power_w: Power drawn while residing in this mode.
+        spindown_time_s: Time to transition from mode 0 into this mode.
+        spindown_energy_j: Energy for that transition.
+        spinup_time_s: Time to transition from this mode back to mode 0.
+        spinup_energy_j: Energy for that transition.
+    """
+
+    index: int
+    name: str
+    rpm: float
+    power_w: float
+    spindown_time_s: float
+    spindown_energy_j: float
+    spinup_time_s: float
+    spinup_energy_j: float
+
+    @property
+    def round_trip_time_s(self) -> float:
+        """Total time to enter this mode from mode 0 and return."""
+        return self.spindown_time_s + self.spinup_time_s
+
+    @property
+    def round_trip_energy_j(self) -> float:
+        """Total energy to enter this mode from mode 0 and return."""
+        return self.spindown_energy_j + self.spinup_energy_j
+
+
+class PowerModel:
+    """An ordered ladder of :class:`PowerMode` plus service power levels.
+
+    Args:
+        modes: Modes ordered by index; power must strictly decrease and
+            rpm must be non-increasing along the ladder. Mode 0 must have
+            zero transition costs (it *is* the full-speed state).
+        active_power_w: Power while reading/writing (full speed).
+        seek_power_w: Power while seeking.
+
+    Raises:
+        PowerModelError: If the ladder is empty or not monotonic.
+    """
+
+    def __init__(
+        self,
+        modes: Sequence[PowerMode],
+        active_power_w: float,
+        seek_power_w: float,
+    ) -> None:
+        if not modes:
+            raise PowerModelError("power model needs at least one mode")
+        for i, mode in enumerate(modes):
+            if mode.index != i:
+                raise PowerModelError(
+                    f"mode at position {i} has index {mode.index}"
+                )
+        first = modes[0]
+        if first.round_trip_time_s != 0 or first.round_trip_energy_j != 0:
+            raise PowerModelError("mode 0 must have zero transition costs")
+        for lo, hi in zip(modes, modes[1:]):
+            if hi.power_w >= lo.power_w:
+                raise PowerModelError(
+                    f"power must strictly decrease: mode {hi.index} "
+                    f"({hi.power_w} W) >= mode {lo.index} ({lo.power_w} W)"
+                )
+            if hi.rpm > lo.rpm:
+                raise PowerModelError(
+                    f"rpm must be non-increasing: mode {hi.index} "
+                    f"({hi.rpm}) > mode {lo.index} ({lo.rpm})"
+                )
+            if hi.spindown_time_s < lo.spindown_time_s:
+                raise PowerModelError(
+                    "spin-down time must be non-decreasing along the ladder"
+                )
+            if hi.spinup_time_s < lo.spinup_time_s:
+                raise PowerModelError(
+                    "spin-up time must be non-decreasing along the ladder"
+                )
+        self._modes = tuple(modes)
+        self.active_power_w = active_power_w
+        self.seek_power_w = seek_power_w
+
+    # -- container protocol --------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._modes)
+
+    def __iter__(self) -> Iterator[PowerMode]:
+        return iter(self._modes)
+
+    def __getitem__(self, index: int) -> PowerMode:
+        return self._modes[index]
+
+    @property
+    def modes(self) -> tuple[PowerMode, ...]:
+        return self._modes
+
+    @property
+    def idle_mode(self) -> PowerMode:
+        """The full-speed idle mode (mode 0)."""
+        return self._modes[0]
+
+    @property
+    def deepest_mode(self) -> PowerMode:
+        """The lowest-power mode (standby, in the default model)."""
+        return self._modes[-1]
+
+    # -- derived transition costs ---------------------------------------
+
+    def downshift_time(self, src: int, dst: int) -> float:
+        """Time to shift down from mode ``src`` to deeper mode ``dst``.
+
+        Under the linear model, from-full-speed costs compose, so this
+        is the difference of the two spin-down times.
+        """
+        self._check_downshift(src, dst)
+        return self._modes[dst].spindown_time_s - self._modes[src].spindown_time_s
+
+    def downshift_energy(self, src: int, dst: int) -> float:
+        """Energy to shift down from mode ``src`` to deeper mode ``dst``."""
+        self._check_downshift(src, dst)
+        return (
+            self._modes[dst].spindown_energy_j
+            - self._modes[src].spindown_energy_j
+        )
+
+    def _check_downshift(self, src: int, dst: int) -> None:
+        if not 0 <= src < dst < len(self._modes):
+            raise PowerModelError(
+                f"invalid downshift {src} -> {dst} in a "
+                f"{len(self._modes)}-mode model"
+            )
+
+    def __repr__(self) -> str:
+        names = ", ".join(m.name for m in self._modes)
+        return f"PowerModel([{names}])"

@@ -1,0 +1,194 @@
+"""Disk specifications and the linear DRPM multi-speed extension.
+
+The paper's Table 1 lists the IBM Ultrastar 36Z15 datasheet values and
+extends the disk with four intermediate rotational speeds (12k, 9k, 6k,
+3k RPM — the "NAP" modes) using the linear power/time model of
+Gurumurthi et al. (DRPM, ISCA 2003): idle power, spin-up/-down time and
+energy all interpolate linearly in RPM between standby (0 RPM) and full
+speed.
+
+:func:`build_power_model` turns a :class:`DiskSpec` into a
+:class:`~repro.power.modes.PowerModel`; :func:`scale_spinup_cost`
+produces variants with a different standby→active spin-up energy, which
+drives the Figure 8 sensitivity study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.errors import PowerModelError
+from repro.power.modes import PowerMode, PowerModel
+from repro.units import GIB, positive
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Datasheet-level description of one disk model.
+
+    Power figures describe the 2-mode base disk (full speed + standby);
+    NAP modes are derived, not stored. Timing fields parameterize the
+    service-time model in :mod:`repro.disk`.
+    """
+
+    name: str
+    capacity_bytes: int
+    rpm_max: float
+    rpm_min: float
+    rpm_step: float
+    active_power_w: float
+    seek_power_w: float
+    idle_power_w: float
+    standby_power_w: float
+    spinup_time_s: float
+    spinup_energy_j: float
+    spindown_time_s: float
+    spindown_energy_j: float
+    # service-time model -------------------------------------------------
+    heads: int
+    sectors_per_track: int
+    track_to_track_seek_s: float
+    average_seek_s: float
+    full_stroke_seek_s: float
+
+    def __post_init__(self) -> None:
+        positive(self.capacity_bytes, "capacity_bytes")
+        positive(self.rpm_max, "rpm_max")
+        positive(self.active_power_w, "active_power_w")
+        positive(self.idle_power_w, "idle_power_w")
+        positive(self.standby_power_w, "standby_power_w")
+        if self.standby_power_w >= self.idle_power_w:
+            raise PowerModelError(
+                "standby power must be below full-speed idle power"
+            )
+        if not 0 < self.rpm_min <= self.rpm_max:
+            raise PowerModelError("need 0 < rpm_min <= rpm_max")
+        if self.full_stroke_seek_s < self.average_seek_s:
+            raise PowerModelError("full-stroke seek below average seek")
+
+
+#: IBM Ultrastar 36Z15, as listed in Table 1 of the paper. Seek-curve
+#: points come from the product datasheet.
+ULTRASTAR_36Z15 = DiskSpec(
+    name="IBM Ultrastar 36Z15",
+    capacity_bytes=int(18.4 * GIB),
+    rpm_max=15_000.0,
+    rpm_min=3_000.0,
+    rpm_step=3_000.0,
+    active_power_w=13.5,
+    seek_power_w=13.5,
+    idle_power_w=10.2,
+    standby_power_w=2.5,
+    spinup_time_s=10.9,
+    spinup_energy_j=135.0,
+    spindown_time_s=1.5,
+    spindown_energy_j=13.0,
+    heads=8,
+    sectors_per_track=512,
+    track_to_track_seek_s=0.6e-3,
+    average_seek_s=3.4e-3,
+    full_stroke_seek_s=6.5e-3,
+)
+
+#: NAP-mode spindle speeds used throughout the paper's evaluation.
+DEFAULT_NAP_RPMS: tuple[float, ...] = (12_000.0, 9_000.0, 6_000.0, 3_000.0)
+
+
+def _fraction_below_full(spec: DiskSpec, rpm: float) -> float:
+    """Linear-model interpolation weight: 0 at full speed, 1 at standby."""
+    return (spec.rpm_max - rpm) / spec.rpm_max
+
+
+def build_power_model(
+    spec: DiskSpec = ULTRASTAR_36Z15,
+    nap_rpms: Sequence[float] = DEFAULT_NAP_RPMS,
+    include_standby: bool = True,
+) -> PowerModel:
+    """Construct the multi-speed power model for ``spec``.
+
+    Args:
+        spec: Base 2-mode disk specification.
+        nap_rpms: Intermediate speeds, strictly decreasing, strictly
+            between 0 and ``spec.rpm_max``. Pass ``()`` for the plain
+            2-mode (idle/standby) model used in the Figure 3 example.
+        include_standby: Whether to append the fully-spun-down mode.
+
+    Returns:
+        A :class:`PowerModel` whose mode 0 is full-speed idle, followed
+        by one NAP mode per entry of ``nap_rpms``, then standby.
+    """
+    rpms = list(nap_rpms)
+    if any(not 0 < r < spec.rpm_max for r in rpms):
+        raise PowerModelError(
+            f"NAP speeds must lie strictly between 0 and {spec.rpm_max}"
+        )
+    if sorted(rpms, reverse=True) != rpms or len(set(rpms)) != len(rpms):
+        raise PowerModelError("NAP speeds must be strictly decreasing")
+
+    modes = [
+        PowerMode(
+            index=0,
+            name="IDLE",
+            rpm=spec.rpm_max,
+            power_w=spec.idle_power_w,
+            spindown_time_s=0.0,
+            spindown_energy_j=0.0,
+            spinup_time_s=0.0,
+            spinup_energy_j=0.0,
+        )
+    ]
+    power_span = spec.idle_power_w - spec.standby_power_w
+    for rpm in rpms:
+        f = _fraction_below_full(spec, rpm)
+        modes.append(
+            PowerMode(
+                index=len(modes),
+                name=f"NAP{len(modes)}",
+                rpm=rpm,
+                power_w=spec.standby_power_w + power_span * (rpm / spec.rpm_max),
+                spindown_time_s=spec.spindown_time_s * f,
+                spindown_energy_j=spec.spindown_energy_j * f,
+                spinup_time_s=spec.spinup_time_s * f,
+                spinup_energy_j=spec.spinup_energy_j * f,
+            )
+        )
+    if include_standby:
+        modes.append(
+            PowerMode(
+                index=len(modes),
+                name="STANDBY",
+                rpm=0.0,
+                power_w=spec.standby_power_w,
+                spindown_time_s=spec.spindown_time_s,
+                spindown_energy_j=spec.spindown_energy_j,
+                spinup_time_s=spec.spinup_time_s,
+                spinup_energy_j=spec.spinup_energy_j,
+            )
+        )
+    return PowerModel(
+        modes,
+        active_power_w=spec.active_power_w,
+        seek_power_w=spec.seek_power_w,
+    )
+
+
+def scale_spinup_cost(
+    spec: DiskSpec, spinup_energy_j: float
+) -> DiskSpec:
+    """Return a spec variant with a different standby→active spin-up energy.
+
+    Spin-up *time* is scaled proportionally, mirroring how the paper's
+    Figure 8 varies the transition cost; all other datasheet values are
+    kept. NAP-mode costs are derived from the new values by the linear
+    model, exactly as the paper describes ("the spin-up costs from other
+    modes to active mode are still calculated based on the linear power
+    model").
+    """
+    positive(spinup_energy_j, "spinup_energy_j")
+    ratio = spinup_energy_j / spec.spinup_energy_j
+    return replace(
+        spec,
+        spinup_energy_j=spinup_energy_j,
+        spinup_time_s=spec.spinup_time_s * ratio,
+    )

@@ -1,0 +1,42 @@
+"""The full-system simulator: trace → cache → disks → DPM → report.
+
+:class:`~repro.sim.engine.StorageSimulator` wires a workload trace, a
+storage cache with a replacement policy, a write policy, and a DPM-
+managed disk array into one run; :mod:`repro.sim.runner` offers
+one-call experiment helpers used by the examples and benchmarks.
+"""
+
+from repro.sim.closedloop import (
+    ClientWorkload,
+    ClosedLoopSimulator,
+    HotCoolWorkload,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import StorageSimulator
+from repro.sim.results import ResponseStats, SimulationResult
+from repro.sim.runner import (
+    POLICY_NAMES,
+    WRITE_POLICY_NAMES,
+    build_policy,
+    build_write_policy,
+    run_simulation,
+)
+from repro.sim.sweep import SweepPoint, SweepResult, grid_sweep
+
+__all__ = [
+    "ClientWorkload",
+    "ClosedLoopSimulator",
+    "HotCoolWorkload",
+    "POLICY_NAMES",
+    "SweepPoint",
+    "SweepResult",
+    "grid_sweep",
+    "ResponseStats",
+    "SimulationConfig",
+    "SimulationResult",
+    "StorageSimulator",
+    "WRITE_POLICY_NAMES",
+    "build_policy",
+    "build_write_policy",
+    "run_simulation",
+]

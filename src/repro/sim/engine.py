@@ -1,0 +1,219 @@
+"""The full-system simulation engine.
+
+Processes a trace chronologically. Per block access:
+
+* **read hit** — cache latency only.
+* **read miss** — a disk read at the request's arrival time (paying any
+  spin-up), then insertion; evicted dirty blocks are persisted by the
+  write policy at the same instant (queued behind the read, so the
+  demand read is not delayed by writeback traffic); WBEU/WTDU get the
+  ``after_read_wake`` hook to piggyback flushes on the spin-up.
+* **write** — write-allocate into the cache, then the write policy
+  decides what (if anything) hits the disk or the log device and what
+  latency the client observes.
+
+The per-request response time is the slowest of its block accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cache.cache import StorageCache
+from repro.cache.policies.base import OfflinePolicy, ReplacementPolicy
+from repro.cache.write.base import WritePolicy
+from repro.cache.write.write_back import WriteBackPolicy
+from repro.cache.write.wtdu import WTDUPolicy
+from repro.core.prefetch import Prefetcher
+from repro.disk.array import DiskArray
+from repro.disk.disk import SimulatedDisk
+from repro.disk.multispeed import AllSpeedServiceDisk
+from repro.errors import ConfigurationError, TraceError
+from repro.power.specs import build_power_model
+from repro.sim.config import SimulationConfig
+from repro.sim.results import DiskReport, ResponseStats, SimulationResult
+from repro.traces.record import IORequest, expand_accesses
+
+
+class StorageSimulator:
+    """One complete simulation run.
+
+    Args:
+        trace: Time-ordered requests.
+        config: Array/cache/DPM configuration.
+        policy: Replacement policy instance (offline policies are
+            prepared automatically from the trace).
+        write_policy: Write policy; defaults to write-back (the usual
+            configuration for a large non-volatile storage cache, and
+            the paper's setting for the replacement study).
+        label: Report label; defaults to the policy names.
+    """
+
+    def __init__(
+        self,
+        trace: Sequence[IORequest],
+        config: SimulationConfig,
+        policy: ReplacementPolicy,
+        write_policy: WritePolicy | None = None,
+        prefetcher: Prefetcher | None = None,
+        label: str | None = None,
+    ) -> None:
+        self.trace = trace
+        self.config = config
+        self.policy = policy
+        self.write_policy = write_policy or WriteBackPolicy()
+        if prefetcher is not None and isinstance(policy, OfflinePolicy):
+            raise ConfigurationError(
+                "prefetching admits blocks outside the demand sequence, "
+                "which offline policies cannot model; use an online policy"
+            )
+        self.prefetcher = prefetcher
+        self.label = label or f"{policy.name}+{self.write_policy.name}"
+        self.power_model = build_power_model(config.spec, config.nap_rpms)
+        disk_cls = (
+            AllSpeedServiceDisk
+            if config.disk_design == "all-speed"
+            else SimulatedDisk
+        )
+        self.array = DiskArray(
+            num_disks=config.num_disks,
+            spec=config.spec,
+            dpm_factory=lambda model: config.make_dpm(model),
+            power_model=self.power_model,
+            block_size=config.block_size,
+            disk_cls=disk_cls,
+        )
+        self.cache = StorageCache(config.cache_capacity_blocks, policy)
+        self.write_policy.attach(
+            self.cache, self.array, activity_listener=policy.note_disk_activity
+        )
+        self._responses: list[float] = []
+        self._disk_reads = 0
+        self._ran = False
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation; may be called once per instance."""
+        if self._ran:
+            raise TraceError("simulator instances are single-use")
+        self._ran = True
+        if isinstance(self.policy, OfflinePolicy):
+            self.policy.prepare(expand_accesses(self.trace))
+
+        previous_time = -1.0
+        last_time = 0.0
+        for req in self.trace:
+            if req.time < previous_time:
+                raise TraceError(
+                    f"trace not time-ordered at t={req.time} (< {previous_time})"
+                )
+            previous_time = last_time = req.time
+            self.handle_request(req)
+
+        end_time = last_time + self.config.trace_tail_s
+        return self.finish(end_time)
+
+    def handle_request(self, req: IORequest) -> float:
+        """Process one request through cache, write policy, and disks.
+
+        Returns the client-visible response time (also accumulated for
+        the final report). Callers must supply requests in
+        non-decreasing time order — the trace loop and the closed-loop
+        driver both guarantee it.
+        """
+        cache = self.cache
+        write_policy = self.write_policy
+        hit_latency = self.config.cache_hit_latency_s
+        worst = hit_latency
+        for key in req.block_keys():
+            outcome = cache.access(key, req.time, req.is_write)
+            latency = hit_latency
+            if req.is_write:
+                for victim, state in outcome.evicted:
+                    write_policy.on_evicted(victim, state, req.time)
+                latency = max(latency, write_policy.on_write(key, req.time))
+            elif not outcome.hit:
+                response = self.array.submit(
+                    req.disk, req.time, key[1], 1, is_write=False
+                )
+                self._disk_reads += 1
+                latency = max(latency, response.response_time_s)
+                for victim, state in outcome.evicted:
+                    write_policy.on_evicted(victim, state, req.time)
+                write_policy.after_read_wake(
+                    req.disk, req.time, woke=response.wake_delay_s > 0
+                )
+                if self.prefetcher is not None:
+                    self._prefetch(key, response, req.time)
+            if latency > worst:
+                worst = latency
+        self._responses.append(worst)
+        return worst
+
+    def finish(self, end_time: float) -> SimulationResult:
+        """Wind the disks down to ``end_time`` and build the report."""
+        self.array.finalize(end_time)
+        return self._build_result(self._responses, self._disk_reads, end_time)
+
+    def _prefetch(self, key, response, time: float) -> None:
+        """Ride a demand read's disk activation with sequential blocks.
+
+        The prefetch transfer queues behind the demand read (it cannot
+        delay it) and its service time/energy are charged to the disk;
+        admitted blocks may evict, and evicted dirty blocks are
+        persisted by the write policy as usual.
+        """
+        disk_id = key[0]
+        disk = self.array[disk_id]
+        plan = self.prefetcher.plan(
+            key,
+            woke_disk=response.wake_delay_s > 0,
+            time=time,
+            cache=self.cache,
+            disk_blocks=disk.geometry.num_blocks,
+        )
+        if not plan:
+            return
+        self.array.submit(disk_id, time, plan[0][1], len(plan))
+        for pkey in plan:
+            outcome = self.cache.admit(pkey, time)
+            for victim, state in outcome.evicted:
+                self.write_policy.on_evicted(victim, state, time)
+
+    def _build_result(
+        self, responses: list[float], disk_reads: int, end_time: float
+    ) -> SimulationResult:
+        stats = self.cache.stats
+        disks = [
+            DiskReport(
+                disk_id=d.disk_id,
+                account=d.account,
+                mean_interarrival_s=d.mean_interarrival_s,
+                requests=d.request_count,
+            )
+            for d in self.array.disks
+        ]
+        total = self.array.total_account()
+        log_energy = 0.0
+        if isinstance(self.write_policy, WTDUPolicy):
+            log_energy = self.write_policy.extra_energy_j
+        return SimulationResult(
+            label=self.label,
+            dpm=self.config.dpm,
+            duration_s=end_time,
+            disk_energy_j=self.array.total_energy_j,
+            log_energy_j=log_energy,
+            disks=disks,
+            response=ResponseStats.from_samples(responses),
+            cache_accesses=stats.accesses,
+            cache_hits=stats.hits,
+            cache_misses=stats.misses,
+            cold_misses=stats.cold_misses,
+            evictions=stats.evictions,
+            disk_reads=disk_reads,
+            disk_writes=self.write_policy.disk_writes,
+            spinups=total.spinups,
+            spindowns=total.spindowns,
+            pending_dirty=self.write_policy.pending_dirty(),
+            prefetch_admissions=stats.prefetch_admissions,
+            prefetch_hits=stats.prefetch_hits,
+        )

@@ -1,0 +1,125 @@
+"""Simulation reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.power.accounting import EnergyAccount
+
+
+@dataclass(frozen=True)
+class ResponseStats:
+    """Client-visible request latency distribution."""
+
+    count: int
+    mean_s: float
+    median_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "ResponseStats":
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(samples)
+        return cls(
+            count=len(samples),
+            mean_s=float(arr.mean()),
+            median_s=float(np.percentile(arr, 50)),
+            p95_s=float(np.percentile(arr, 95)),
+            p99_s=float(np.percentile(arr, 99)),
+            max_s=float(arr.max()),
+        )
+
+
+@dataclass(frozen=True)
+class DiskReport:
+    """Per-disk rollup for the Figure 7 analyses."""
+
+    disk_id: int
+    account: EnergyAccount
+    mean_interarrival_s: float
+    requests: int
+
+    def time_breakdown(self) -> dict[str, float]:
+        return self.account.time_breakdown()
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a run produced.
+
+    ``total_energy_j`` is the quantity the paper's energy figures plot:
+    disk array energy (all modes, transitions, and request service)
+    plus any incremental log-device energy (WTDU).
+    """
+
+    label: str
+    dpm: str
+    duration_s: float
+    disk_energy_j: float
+    log_energy_j: float
+    disks: list[DiskReport]
+    response: ResponseStats
+    cache_accesses: int
+    cache_hits: int
+    cache_misses: int
+    cold_misses: int
+    evictions: int
+    disk_reads: int
+    disk_writes: int
+    spinups: int
+    spindowns: int
+    pending_dirty: int
+    prefetch_admissions: int = 0
+    prefetch_hits: int = 0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of prefetched blocks that were later demanded."""
+        if not self.prefetch_admissions:
+            return 0.0
+        return self.prefetch_hits / self.prefetch_admissions
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.disk_energy_j + self.log_energy_j
+
+    @property
+    def hit_ratio(self) -> float:
+        return (
+            self.cache_hits / self.cache_accesses if self.cache_accesses else 0.0
+        )
+
+    @property
+    def cold_miss_fraction(self) -> float:
+        return (
+            self.cold_misses / self.cache_accesses if self.cache_accesses else 0.0
+        )
+
+    def energy_relative_to(self, baseline: "SimulationResult") -> float:
+        """Energy normalized to a baseline run (the Figure 6 bars)."""
+        return self.total_energy_j / baseline.total_energy_j
+
+    def savings_over(self, baseline: "SimulationResult") -> float:
+        """Fractional energy savings vs a baseline (Figures 8 and 9)."""
+        return 1.0 - self.energy_relative_to(baseline)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        r = self.response
+        return (
+            f"{self.label} [{self.dpm} DPM]: "
+            f"energy={self.total_energy_j / 1e3:.1f} kJ "
+            f"(disks {self.disk_energy_j / 1e3:.1f}, log "
+            f"{self.log_energy_j / 1e3:.1f}); "
+            f"hit ratio={self.hit_ratio:.1%} "
+            f"(cold {self.cold_miss_fraction:.1%}); "
+            f"mean response={r.mean_s * 1e3:.2f} ms "
+            f"(p95 {r.p95_s * 1e3:.2f} ms); "
+            f"spinups={self.spinups}; "
+            f"disk I/O={self.disk_reads}R/{self.disk_writes}W"
+        )

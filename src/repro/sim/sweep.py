@@ -1,0 +1,125 @@
+"""Parameter-sweep utilities.
+
+A thin, dependency-free grid runner for experiment campaigns: build the
+cartesian product of parameter axes, run one simulation per point, and
+collect flat result records suitable for tables or CSV export. The
+figure-specific builders in :mod:`repro.analysis.figures` cover the
+paper's own experiments; this module serves ad-hoc exploration.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+from repro.sim.runner import run_simulation
+from repro.traces.record import IORequest
+
+#: A callable mapping sweep parameters to a trace (lets axes control
+#: the workload as well as the simulation).
+TraceFactory = Callable[..., Sequence[IORequest]]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: its parameters and the resulting run."""
+
+    params: dict[str, Any]
+    result: SimulationResult
+
+    def record(self) -> dict[str, Any]:
+        """Flat dict: parameters + headline metrics."""
+        r = self.result
+        return {
+            **self.params,
+            "energy_j": r.total_energy_j,
+            "mean_response_s": r.response.mean_s,
+            "p95_response_s": r.response.p95_s,
+            "hit_ratio": r.hit_ratio,
+            "cold_fraction": r.cold_miss_fraction,
+            "spinups": r.spinups,
+            "disk_reads": r.disk_reads,
+            "disk_writes": r.disk_writes,
+        }
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, in grid order."""
+
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def records(self) -> list[dict[str, Any]]:
+        return [p.record() for p in self.points]
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write one row per grid point."""
+        records = self.records()
+        if not records:
+            raise ConfigurationError("empty sweep has nothing to export")
+        with open(path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=list(records[0]))
+            writer.writeheader()
+            writer.writerows(records)
+
+    def best(self, metric: str = "energy_j") -> SweepPoint:
+        """The point minimizing ``metric``."""
+        if not self.points:
+            raise ConfigurationError("empty sweep has no best point")
+        return min(self.points, key=lambda p: p.record()[metric])
+
+
+def grid_sweep(
+    trace: Sequence[IORequest] | TraceFactory,
+    axes: dict[str, Sequence[Any]],
+    *,
+    trace_params: Sequence[str] = (),
+    num_disks: int,
+    cache_blocks: int | None,
+    **fixed,
+) -> SweepResult:
+    """Run one simulation per point of the cartesian parameter grid.
+
+    Args:
+        trace: A fixed trace, or a factory invoked with the grid point's
+            ``trace_params`` subset (so axes can regenerate workloads).
+        axes: Parameter name -> values. Names in ``trace_params`` go to
+            the trace factory; the rest go to
+            :func:`~repro.sim.runner.run_simulation`.
+        trace_params: Which axis names parameterize the trace factory.
+        num_disks / cache_blocks / fixed: Passed through to every run.
+    """
+    if not axes:
+        raise ConfigurationError("need at least one sweep axis")
+    trace_axis = set(trace_params)
+    unknown = trace_axis - set(axes)
+    if unknown:
+        raise ConfigurationError(f"trace_params not in axes: {sorted(unknown)}")
+    if trace_axis and not callable(trace):
+        raise ConfigurationError(
+            "trace_params given, so `trace` must be a factory callable"
+        )
+    names = list(axes)
+    sweep = SweepResult()
+    for values in itertools.product(*(axes[n] for n in names)):
+        params = dict(zip(names, values))
+        if callable(trace):
+            workload = trace(**{k: v for k, v in params.items() if k in trace_axis})
+        else:
+            workload = trace
+        run_kwargs = {k: v for k, v in params.items() if k not in trace_axis}
+        # axes override the sweep-wide defaults (e.g. a cache_blocks axis)
+        kwargs = {
+            "num_disks": num_disks,
+            "cache_blocks": cache_blocks,
+            **fixed,
+            **run_kwargs,
+        }
+        result = run_simulation(workload, **kwargs)
+        sweep.points.append(SweepPoint(params=params, result=result))
+    return sweep

@@ -1,0 +1,35 @@
+"""Workloads: trace records, arrival/locality models, and generators.
+
+Real traces from the paper (the VI-attached SQL Server TPC-C trace and
+HP's Cello96) are proprietary; :mod:`repro.traces.oltp` and
+:mod:`repro.traces.cello` generate seeded synthetic equivalents that
+match the published characteristics (Table 2) and the distributional
+properties the paper's analysis says drive the results. The Table 3
+parameterized generator used by the write-policy study lives in
+:mod:`repro.traces.synthetic`.
+"""
+
+from repro.traces.arrivals import ExponentialArrivals, ParetoArrivals
+from repro.traces.cello import CelloTraceConfig, generate_cello_trace
+from repro.traces.locality import SpatialModel, ZipfStackModel
+from repro.traces.oltp import OLTPTraceConfig, generate_oltp_trace
+from repro.traces.record import IORequest, expand_accesses
+from repro.traces.stats import TraceCharacteristics, characterize
+from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+
+__all__ = [
+    "CelloTraceConfig",
+    "ExponentialArrivals",
+    "IORequest",
+    "OLTPTraceConfig",
+    "ParetoArrivals",
+    "SpatialModel",
+    "SyntheticTraceConfig",
+    "TraceCharacteristics",
+    "ZipfStackModel",
+    "characterize",
+    "expand_accesses",
+    "generate_cello_trace",
+    "generate_oltp_trace",
+    "generate_synthetic_trace",
+]

@@ -1,0 +1,87 @@
+"""Trace file persistence (CSV).
+
+Format: one header line, then ``time,disk,block,nblocks,op`` rows with
+``op`` in ``{R, W}``. Times are seconds with microsecond precision —
+enough for the paper's millisecond-scale workloads while keeping files
+diff-friendly.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import TraceError
+from repro.traces.record import IORequest, validate_trace
+
+_HEADER = ["time", "disk", "block", "nblocks", "op"]
+
+
+def save_trace(trace: Sequence[IORequest], path: str | Path) -> None:
+    """Write a trace to ``path`` as CSV."""
+    validate_trace(trace)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for req in trace:
+            writer.writerow(
+                [
+                    f"{req.time:.6f}",
+                    req.disk,
+                    req.block,
+                    req.nblocks,
+                    "W" if req.is_write else "R",
+                ]
+            )
+
+
+def load_trace(path: str | Path) -> list[IORequest]:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises:
+        TraceError: On malformed headers, rows, or time ordering.
+    """
+    trace: list[IORequest] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise TraceError(f"{path}: bad header {header!r}")
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(_HEADER):
+                raise TraceError(f"{path}:{line_no}: expected 5 fields")
+            try:
+                op = row[4].strip().upper()
+                if op not in ("R", "W"):
+                    raise ValueError(f"bad op {row[4]!r}")
+                trace.append(
+                    IORequest(
+                        time=float(row[0]),
+                        disk=int(row[1]),
+                        block=int(row[2]),
+                        nblocks=int(row[3]),
+                        is_write=(op == "W"),
+                    )
+                )
+            except (ValueError, TraceError) as exc:
+                raise TraceError(f"{path}:{line_no}: {exc}") from exc
+    validate_trace(trace)
+    return trace
+
+
+def iter_trace(path: str | Path) -> Iterable[IORequest]:
+    """Stream a trace file without materializing it."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise TraceError(f"{path}: bad header {header!r}")
+        for row in reader:
+            yield IORequest(
+                time=float(row[0]),
+                disk=int(row[1]),
+                block=int(row[2]),
+                nblocks=int(row[3]),
+                is_write=(row[4].strip().upper() == "W"),
+            )

@@ -1,0 +1,154 @@
+"""Spatial and temporal locality models for the trace generators.
+
+Spatial locality follows Table 3: each new address is *sequential*
+(next block after the previous access on that disk), *local* (within
+``max_local_distance`` blocks), or *random* (uniform over the disk),
+with configurable probabilities.
+
+Temporal locality follows the paper's description: reuse distances are
+drawn from a Zipf distribution over an LRU stack of previously-used
+addresses, so recently-used blocks are re-referenced most often.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class SpatialModel:
+    """Sequential / local / random address chooser (Table 3)."""
+
+    def __init__(
+        self,
+        disk_blocks: int,
+        rng: np.random.Generator,
+        p_sequential: float = 0.1,
+        p_local: float = 0.2,
+        max_local_distance: int = 100,
+    ) -> None:
+        if disk_blocks < 1:
+            raise ConfigurationError("disk_blocks must be >= 1")
+        p_random = 1.0 - p_sequential - p_local
+        if min(p_sequential, p_local, p_random) < -1e-9:
+            raise ConfigurationError(
+                "sequential/local probabilities must sum to <= 1"
+            )
+        self.disk_blocks = disk_blocks
+        self.p_sequential = p_sequential
+        self.p_local = p_local
+        self.max_local_distance = max_local_distance
+        self._rng = rng
+        self._last: dict[int, int] = {}
+
+    def next_block(self, disk: int) -> int:
+        """Choose the next block address on ``disk``."""
+        last = self._last.get(disk)
+        u = self._rng.random()
+        if last is None:
+            block = int(self._rng.integers(self.disk_blocks))
+        elif u < self.p_sequential:
+            block = (last + 1) % self.disk_blocks
+        elif u < self.p_sequential + self.p_local:
+            offset = int(
+                self._rng.integers(
+                    -self.max_local_distance, self.max_local_distance + 1
+                )
+            )
+            block = min(max(last + offset, 0), self.disk_blocks - 1)
+        else:
+            block = int(self._rng.integers(self.disk_blocks))
+        self._last[disk] = block
+        return block
+
+
+class ZipfStackModel:
+    """LRU stack with Zipf-distributed reuse depths.
+
+    ``next_key`` returns a previously-seen key with probability
+    ``reuse_probability`` (depth drawn Zipf — shallow depths dominate),
+    otherwise ``None``, signalling the caller to mint a fresh address
+    (which is then pushed on the stack).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        reuse_probability: float,
+        zipf_a: float = 1.2,
+        max_depth: int = 1 << 16,
+    ) -> None:
+        if not 0.0 <= reuse_probability <= 1.0:
+            raise ConfigurationError("reuse_probability must be in [0, 1]")
+        if zipf_a <= 1.0:
+            raise ConfigurationError("zipf_a must be > 1")
+        if max_depth < 1:
+            raise ConfigurationError("max_depth must be >= 1")
+        self.reuse_probability = reuse_probability
+        self.zipf_a = zipf_a
+        self.max_depth = max_depth
+        self._rng = rng
+        self._stack: OrderedDict = OrderedDict()  # MRU at the end
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def next_key(self):
+        """A reused key (moved to MRU), or ``None`` for "mint new"."""
+        if not self._stack or self._rng.random() >= self.reuse_probability:
+            return None
+        depth = int(self._rng.zipf(self.zipf_a))
+        depth = min(depth, len(self._stack))
+        # depth 1 = MRU; walk from the MRU end
+        key = next(
+            k
+            for i, k in enumerate(reversed(self._stack))
+            if i == depth - 1
+        )
+        self._stack.move_to_end(key)
+        return key
+
+    def push(self, key) -> None:
+        """Record a freshly-minted key as most recently used."""
+        self._stack[key] = None
+        self._stack.move_to_end(key)
+        if len(self._stack) > self.max_depth:
+            self._stack.popitem(last=False)
+
+
+class ZipfPopularity:
+    """Static Zipf popularity over a fixed footprint of blocks.
+
+    Rank 1 is most popular; draws are clamped to the footprint size.
+    Used for per-disk working sets where the *set* is fixed but access
+    frequency is skewed (hot database tables, for instance).
+    """
+
+    def __init__(
+        self,
+        footprint: int,
+        rng: np.random.Generator,
+        zipf_a: float = 1.2,
+        base_block: int = 0,
+    ) -> None:
+        if footprint < 1:
+            raise ConfigurationError("footprint must be >= 1")
+        self.footprint = footprint
+        self.base_block = base_block
+        self.zipf_a = zipf_a
+        self._rng = rng
+        # A fixed permutation so popular blocks are scattered over the
+        # footprint, not clustered at its start.
+        self._perm = rng.permutation(footprint)
+
+    def next_block(self) -> int:
+        if self.zipf_a <= 1.0:
+            rank = int(self._rng.integers(self.footprint))
+        else:
+            rank = int(self._rng.zipf(self.zipf_a)) - 1
+            if rank >= self.footprint:
+                rank = int(self._rng.integers(self.footprint))
+        return self.base_block + int(self._perm[rank])

@@ -1,0 +1,107 @@
+"""Trace characterization — the numbers of the paper's Table 2,
+plus per-disk breakdowns for workload exploration."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.traces.record import IORequest
+
+
+@dataclass(frozen=True)
+class TraceCharacteristics:
+    """Summary statistics for one trace (Table 2 columns)."""
+
+    requests: int
+    disks: int
+    write_fraction: float
+    mean_interarrival_s: float
+    duration_s: float
+    distinct_blocks: int
+    cold_fraction: float  # distinct blocks / accesses: lower bound on reuse
+
+    def table_row(self, name: str) -> str:
+        """Render one Table 2 style row."""
+        return (
+            f"{name:10s} {self.disks:5d} {self.write_fraction:7.0%} "
+            f"{self.mean_interarrival_s * 1000:10.2f}ms "
+            f"{self.requests:9d} {self.cold_fraction:7.0%}"
+        )
+
+
+def characterize(trace: Sequence[IORequest]) -> TraceCharacteristics:
+    """Compute Table 2 statistics for a trace."""
+    if not trace:
+        return TraceCharacteristics(0, 0, 0.0, 0.0, 0.0, 0, 0.0)
+    writes = sum(1 for r in trace if r.is_write)
+    disks = len({r.disk for r in trace})
+    duration = trace[-1].time - trace[0].time
+    mean_gap = duration / (len(trace) - 1) if len(trace) > 1 else 0.0
+    distinct = set()
+    accesses = 0
+    for req in trace:
+        for key in req.block_keys():
+            distinct.add(key)
+            accesses += 1
+    return TraceCharacteristics(
+        requests=len(trace),
+        disks=disks,
+        write_fraction=writes / len(trace),
+        mean_interarrival_s=mean_gap,
+        duration_s=duration,
+        distinct_blocks=len(distinct),
+        cold_fraction=len(distinct) / accesses if accesses else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class DiskCharacteristics:
+    """Per-disk view of a trace: the raw material of PA's classifier."""
+
+    disk: int
+    requests: int
+    write_fraction: float
+    mean_interarrival_s: float
+    distinct_blocks: int
+    reuse_fraction: float  # 1 - distinct/requests: repeat-access share
+
+
+def characterize_disks(
+    trace: Sequence[IORequest],
+) -> list[DiskCharacteristics]:
+    """Per-disk characteristics, ordered by disk id.
+
+    Useful for understanding which disks a power-aware policy could
+    classify as priority: low request rates, high reuse, long gaps.
+    """
+    count: dict[int, int] = defaultdict(int)
+    writes: dict[int, int] = defaultdict(int)
+    first: dict[int, float] = {}
+    last: dict[int, float] = {}
+    blocks: dict[int, set] = defaultdict(set)
+    for req in trace:
+        d = req.disk
+        count[d] += 1
+        if req.is_write:
+            writes[d] += 1
+        first.setdefault(d, req.time)
+        last[d] = req.time
+        for key in req.block_keys():
+            blocks[d].add(key[1])
+    out = []
+    for d in sorted(count):
+        n = count[d]
+        span = last[d] - first[d]
+        out.append(
+            DiskCharacteristics(
+                disk=d,
+                requests=n,
+                write_fraction=writes[d] / n,
+                mean_interarrival_s=span / (n - 1) if n > 1 else float("inf"),
+                distinct_blocks=len(blocks[d]),
+                reuse_fraction=1.0 - len(blocks[d]) / n if n else 0.0,
+            )
+        )
+    return out

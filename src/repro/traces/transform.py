@@ -1,0 +1,93 @@
+"""Trace transformations.
+
+Utilities for slicing and reshaping traces during experimentation:
+projections (read-only, per-disk), time scaling (stretch or compress
+inter-arrival gaps), windowing, and chronological merging. All
+functions are pure — they return new request lists and never mutate
+their inputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Iterable, Sequence
+
+from repro.errors import TraceError
+from repro.traces.record import IORequest, validate_trace
+
+
+def read_only(trace: Sequence[IORequest]) -> list[IORequest]:
+    """Project every request to a read (keeps timing and addresses).
+
+    Used to isolate replacement-policy effects from write-policy
+    effects — e.g. the EXPERIMENTS.md analysis showing OPG == Belady on
+    Cello96 once write-back traffic is removed.
+    """
+    return [
+        dataclasses.replace(r, is_write=False) if r.is_write else r
+        for r in trace
+    ]
+
+
+def reads_only(trace: Sequence[IORequest]) -> list[IORequest]:
+    """Drop write requests entirely (the read sub-trace)."""
+    return [r for r in trace if not r.is_write]
+
+
+def filter_disks(
+    trace: Sequence[IORequest], disks: Iterable[int]
+) -> list[IORequest]:
+    """Keep only requests targeting the given disks."""
+    wanted = set(disks)
+    return [r for r in trace if r.disk in wanted]
+
+
+def time_window(
+    trace: Sequence[IORequest], start: float, end: float
+) -> list[IORequest]:
+    """Requests with ``start <= time < end``, re-based to t=0."""
+    if end <= start:
+        raise TraceError(f"empty window [{start}, {end})")
+    return [
+        dataclasses.replace(r, time=r.time - start)
+        for r in trace
+        if start <= r.time < end
+    ]
+
+
+def scale_time(trace: Sequence[IORequest], factor: float) -> list[IORequest]:
+    """Stretch (>1) or compress (<1) all inter-arrival gaps.
+
+    Compressing a trace is the standard way to emulate a higher-load
+    version of the same workload without changing its access pattern.
+    """
+    if factor <= 0:
+        raise TraceError(f"scale factor must be > 0, got {factor}")
+    return [dataclasses.replace(r, time=r.time * factor) for r in trace]
+
+
+def merge(*traces: Sequence[IORequest]) -> list[IORequest]:
+    """Chronologically merge multiple (individually ordered) traces."""
+    for trace in traces:
+        validate_trace(trace)
+    merged = list(
+        heapq.merge(*traces, key=lambda r: r.time)
+    )
+    return merged
+
+
+def remap_disks(
+    trace: Sequence[IORequest], mapping: dict[int, int]
+) -> list[IORequest]:
+    """Renumber disks (e.g. to consolidate a filtered trace).
+
+    Raises:
+        TraceError: If a request's disk has no mapping.
+    """
+    out = []
+    for r in trace:
+        if r.disk not in mapping:
+            raise TraceError(f"no mapping for disk {r.disk}")
+        out.append(dataclasses.replace(r, disk=mapping[r.disk]))
+    return out

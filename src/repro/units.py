@@ -1,0 +1,82 @@
+"""Units, constants, and small numeric helpers.
+
+The library uses plain floats with fixed base units everywhere:
+
+* time    — seconds
+* energy  — joules
+* power   — watts
+* size    — bytes (block counts are plain ints)
+
+This module centralizes the conversion factors and a couple of tolerant
+float comparisons used by the simulators. Keeping the conversions in one
+place makes unit mistakes greppable.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- size -----------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Default cache/disk block size used throughout the paper's experiments.
+DEFAULT_BLOCK_SIZE = 8 * KIB
+
+#: Sector size assumed by the disk geometry model.
+SECTOR_SIZE = 512
+
+# --- time -----------------------------------------------------------------
+
+MS = 1e-3
+US = 1e-6
+MINUTE = 60.0
+HOUR = 3600.0
+
+#: Tolerance used when comparing simulation timestamps for equality.
+TIME_EPS = 1e-9
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MS
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MS
+
+
+def rpm_to_period(rpm: float) -> float:
+    """Return the rotation period in seconds for a spindle speed in RPM.
+
+    Raises :class:`ValueError` for non-positive speeds because a stopped
+    spindle has no rotation period.
+    """
+    if rpm <= 0:
+        raise ValueError(f"rotation period undefined for rpm={rpm!r}")
+    return 60.0 / rpm
+
+
+def approx_equal(a: float, b: float, tol: float = 1e-9) -> bool:
+    """Tolerant float equality, absolute + relative."""
+    return math.isclose(a, b, rel_tol=tol, abs_tol=tol)
+
+
+def non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite, non-negative number.
+
+    Returns the value so it can be used inline in constructors.
+    """
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be finite and >= 0, got {value!r}")
+    return value
+
+
+def positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite, strictly positive number."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be finite and > 0, got {value!r}")
+    return value

@@ -1,0 +1,108 @@
+"""Tests for LRU, FIFO, and CLOCK replacement."""
+
+import pytest
+
+from repro.cache.policies.clock import ClockPolicy
+from repro.cache.policies.fifo import FIFOPolicy
+from repro.cache.policies.lru import LRUPolicy
+from repro.errors import PolicyError
+
+
+def drive(policy, key, hit=False, time=0.0):
+    policy.on_access(key, time, hit)
+    if not hit:
+        policy.on_insert(key, time)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        policy = LRUPolicy()
+        for b in (1, 2, 3):
+            drive(policy, (0, b))
+        assert policy.evict(3.0) == (0, 1)
+
+    def test_hit_refreshes(self):
+        policy = LRUPolicy()
+        for b in (1, 2, 3):
+            drive(policy, (0, b))
+        policy.on_access((0, 1), 3.0, hit=True)
+        assert policy.evict(4.0) == (0, 2)
+
+    def test_evict_empty_raises(self):
+        with pytest.raises(PolicyError):
+            LRUPolicy().evict(0.0)
+
+    def test_remove_forgets(self):
+        policy = LRUPolicy()
+        drive(policy, (0, 1))
+        drive(policy, (0, 2))
+        policy.on_remove((0, 1))
+        assert len(policy) == 1
+        assert policy.evict(0.0) == (0, 2)
+
+    def test_len(self):
+        policy = LRUPolicy()
+        for b in range(5):
+            drive(policy, (0, b))
+        assert len(policy) == 5
+
+
+class TestFIFO:
+    def test_evicts_in_insertion_order(self):
+        policy = FIFOPolicy()
+        for b in (1, 2, 3):
+            drive(policy, (0, b))
+        assert policy.evict(0.0) == (0, 1)
+        assert policy.evict(0.0) == (0, 2)
+
+    def test_hits_do_not_refresh(self):
+        policy = FIFOPolicy()
+        for b in (1, 2, 3):
+            drive(policy, (0, b))
+        policy.on_access((0, 1), 3.0, hit=True)
+        assert policy.evict(4.0) == (0, 1)
+
+    def test_reinsert_keeps_position(self):
+        policy = FIFOPolicy()
+        for b in (1, 2):
+            drive(policy, (0, b))
+        policy.on_insert((0, 1), 5.0)  # pinned-victim style re-insert
+        assert policy.evict(6.0) == (0, 1)
+
+    def test_evict_empty_raises(self):
+        with pytest.raises(PolicyError):
+            FIFOPolicy().evict(0.0)
+
+
+class TestClock:
+    def test_unreferenced_evicted_first(self):
+        policy = ClockPolicy()
+        for b in (1, 2, 3):
+            drive(policy, (0, b))
+        policy.on_access((0, 1), 3.0, hit=True)  # give 1 a second chance
+        assert policy.evict(4.0) == (0, 2)
+
+    def test_second_chance_consumed(self):
+        policy = ClockPolicy()
+        for b in (1, 2):
+            drive(policy, (0, b))
+        policy.on_access((0, 1), 2.0, hit=True)
+        policy.on_access((0, 2), 2.5, hit=True)
+        # both referenced: the sweep clears both bits, then evicts 1
+        assert policy.evict(3.0) == (0, 1)
+
+    def test_behaves_like_fifo_without_hits(self):
+        policy = ClockPolicy()
+        for b in (1, 2, 3):
+            drive(policy, (0, b))
+        assert policy.evict(0.0) == (0, 1)
+
+    def test_evict_empty_raises(self):
+        with pytest.raises(PolicyError):
+            ClockPolicy().evict(0.0)
+
+    def test_remove(self):
+        policy = ClockPolicy()
+        drive(policy, (0, 1))
+        policy.on_remove((0, 1))
+        assert len(policy) == 0

@@ -1,0 +1,143 @@
+"""Tests for the storage cache core."""
+
+import pytest
+
+from repro.cache.cache import StorageCache
+from repro.cache.policies.lru import LRUPolicy
+from repro.errors import ConfigurationError, SimulationError
+
+
+def make_cache(capacity=3):
+    return StorageCache(capacity, LRUPolicy())
+
+
+class TestAccess:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.access((0, 1), 0.0, False).hit
+        assert cache.access((0, 1), 1.0, False).hit
+
+    def test_capacity_enforced(self):
+        cache = make_cache(2)
+        cache.access((0, 1), 0.0, False)
+        cache.access((0, 2), 1.0, False)
+        result = cache.access((0, 3), 2.0, False)
+        assert len(cache) == 2
+        assert [k for k, _ in result.evicted] == [(0, 1)]
+
+    def test_lru_order_respected(self):
+        cache = make_cache(2)
+        cache.access((0, 1), 0.0, False)
+        cache.access((0, 2), 1.0, False)
+        cache.access((0, 1), 2.0, False)  # refresh 1
+        result = cache.access((0, 3), 3.0, False)
+        assert [k for k, _ in result.evicted] == [(0, 2)]
+
+    def test_infinite_cache_never_evicts(self):
+        cache = StorageCache(None, LRUPolicy())
+        for i in range(10_000):
+            assert cache.access((0, i), float(i), False).evicted == []
+        assert len(cache) == 10_000
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StorageCache(0, LRUPolicy())
+
+    def test_stats_track_hits_and_misses(self):
+        cache = make_cache()
+        cache.access((0, 1), 0.0, False)
+        cache.access((0, 1), 1.0, True)
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.cold_misses == 1
+        assert cache.stats.write_accesses == 1
+
+
+class TestDirtyTracking:
+    def test_mark_dirty_registers(self):
+        cache = make_cache()
+        cache.access((2, 5), 0.0, True)
+        cache.mark_dirty((2, 5))
+        assert cache.state((2, 5)).dirty
+        assert cache.dirty_blocks(2) == [(2, 5)]
+        assert cache.dirty_count(2) == 1
+
+    def test_dirty_blocks_sorted_by_block(self):
+        cache = make_cache(5)
+        for block in (9, 3, 7):
+            cache.access((1, block), 0.0, True)
+            cache.mark_dirty((1, block))
+        assert cache.dirty_blocks(1) == [(1, 3), (1, 7), (1, 9)]
+
+    def test_mark_clean_clears(self):
+        cache = make_cache()
+        cache.access((2, 5), 0.0, True)
+        cache.mark_dirty((2, 5))
+        cache.mark_clean((2, 5))
+        assert not cache.state((2, 5)).dirty
+        assert cache.dirty_count(2) == 0
+
+    def test_dirty_eviction_reported(self):
+        cache = make_cache(1)
+        cache.access((0, 1), 0.0, True)
+        cache.mark_dirty((0, 1))
+        result = cache.access((0, 2), 1.0, False)
+        (key, state), = result.evicted
+        assert key == (0, 1) and state.dirty
+        assert cache.stats.dirty_evictions == 1
+        assert cache.dirty_count(0) == 0  # ledger cleaned up
+
+
+class TestPinning:
+    def test_logged_blocks_survive_eviction(self):
+        cache = make_cache(2)
+        cache.access((0, 1), 0.0, True)
+        cache.mark_logged((0, 1))
+        cache.access((0, 2), 1.0, False)
+        result = cache.access((0, 3), 2.0, False)
+        # the pinned block was skipped; the other one went
+        assert [k for k, _ in result.evicted] == [(0, 2)]
+        assert (0, 1) in cache
+
+    def test_pinned_count(self):
+        cache = make_cache()
+        cache.access((0, 1), 0.0, True)
+        cache.mark_logged((0, 1))
+        assert cache.pinned_count == 1
+        cache.mark_clean((0, 1))
+        assert cache.pinned_count == 0
+
+    def test_all_pinned_raises(self):
+        cache = make_cache(2)
+        for block in (1, 2):
+            cache.access((0, block), 0.0, True)
+            cache.mark_logged((0, block))
+        with pytest.raises(SimulationError):
+            cache.access((0, 3), 1.0, False)
+
+    def test_mark_logged_idempotent(self):
+        cache = make_cache()
+        cache.access((0, 1), 0.0, True)
+        cache.mark_logged((0, 1))
+        cache.mark_logged((0, 1))
+        assert cache.pinned_count == 1
+
+
+class TestInvalidate:
+    def test_invalidate_removes(self):
+        cache = make_cache()
+        cache.access((0, 1), 0.0, False)
+        state = cache.invalidate((0, 1))
+        assert state is not None
+        assert (0, 1) not in cache
+
+    def test_invalidate_missing_returns_none(self):
+        cache = make_cache()
+        assert cache.invalidate((0, 99)) is None
+
+    def test_invalidate_clears_dirty_ledger(self):
+        cache = make_cache()
+        cache.access((0, 1), 0.0, True)
+        cache.mark_dirty((0, 1))
+        cache.invalidate((0, 1))
+        assert cache.dirty_count(0) == 0

@@ -1,0 +1,110 @@
+"""Tests for WTDU's timestamped log regions and crash recovery."""
+
+import pytest
+
+from repro.cache.write.log_region import LogDevice, LogRegion
+from repro.errors import ConfigurationError, RecoveryError
+
+
+class TestLogRegion:
+    def test_append_until_full(self):
+        region = LogRegion(2)
+        region.append((0, 1))
+        region.append((0, 2))
+        assert region.is_full
+        with pytest.raises(RecoveryError):
+            region.append((0, 3))
+
+    def test_recover_returns_pending(self):
+        region = LogRegion(4)
+        region.append((0, 1))
+        region.append((0, 2))
+        assert sorted(region.recover()) == [(0, 1), (0, 2)]
+
+    def test_recover_after_flush_empty(self):
+        """The core WTDU recovery invariant: a flushed epoch replays
+        nothing, even though the stale slots are physically present."""
+        region = LogRegion(4)
+        region.append((0, 1))
+        region.append((0, 2))
+        region.flush()
+        assert region.recover() == []
+
+    def test_mixed_epochs_replay_only_current(self):
+        region = LogRegion(4)
+        region.append((0, 1))
+        region.flush()
+        region.append((0, 7))  # overwrites slot 0 with stamp 1
+        assert region.recover() == [(0, 7)]
+
+    def test_duplicate_keys_deduplicated_latest_wins(self):
+        region = LogRegion(4)
+        region.append((0, 1))
+        region.append((0, 2))
+        region.append((0, 1))  # re-written block
+        assert len(region.recover()) == 2
+
+    def test_capacity_reclaimed_by_flush(self):
+        region = LogRegion(2)
+        region.append((0, 1))
+        region.append((0, 2))
+        region.flush()
+        assert not region.is_full
+        region.append((0, 3))
+        assert region.recover() == [(0, 3)]
+
+    def test_timestamp_monotonic(self):
+        region = LogRegion(2)
+        for expected in (1, 2, 3):
+            region.flush()
+            assert region.timestamp == expected
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogRegion(0)
+
+
+class TestLogDevice:
+    def test_one_region_per_disk(self):
+        device = LogDevice(3, region_capacity_blocks=8)
+        assert len(device.regions) == 3
+
+    def test_append_charges_energy_and_latency(self):
+        device = LogDevice(2)
+        latency = device.append(1, (1, 5))
+        assert latency == device.write_latency_s
+        assert device.energy_j == pytest.approx(device.write_energy_j)
+        assert device.appends == 1
+
+    def test_regions_isolated(self):
+        device = LogDevice(2, region_capacity_blocks=1)
+        device.append(0, (0, 1))
+        assert device.region_full(0)
+        assert not device.region_full(1)
+
+    def test_recover_all_maps_disks(self):
+        device = LogDevice(2)
+        device.append(0, (0, 1))
+        device.append(1, (1, 9))
+        device.flush(0)
+        pending = device.recover_all()
+        assert pending[0] == []
+        assert pending[1] == [(1, 9)]
+
+    def test_crash_recovery_scenario(self):
+        """Full WTDU lifecycle: log, flush, log again, crash, recover."""
+        device = LogDevice(1, region_capacity_blocks=8)
+        # epoch 0: three writes deferred, then the disk wakes and flushes
+        for b in (1, 2, 3):
+            device.append(0, (0, b))
+        device.flush(0)
+        # epoch 1: two more writes deferred, then CRASH (no flush)
+        device.append(0, (0, 4))
+        device.append(0, (0, 5))
+        pending = device.recover_all()[0]
+        # only epoch-1 writes replay; epoch-0 writes are safely on disk
+        assert sorted(pending) == [(0, 4), (0, 5)]
+
+    def test_zero_disks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogDevice(0)

@@ -1,0 +1,60 @@
+"""Shared fixtures: power models, DPM instances, small traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power.dpm import AlwaysOnDPM, OracleDPM, PracticalDPM
+from repro.power.envelope import EnergyEnvelope
+from repro.power.specs import ULTRASTAR_36Z15, build_power_model
+from repro.traces.record import IORequest
+
+
+@pytest.fixture(scope="session")
+def spec():
+    return ULTRASTAR_36Z15
+
+
+@pytest.fixture(scope="session")
+def model(spec):
+    """The paper's 6-mode multi-speed Ultrastar model."""
+    return build_power_model(spec)
+
+
+@pytest.fixture(scope="session")
+def two_mode_model(spec):
+    """The plain idle/standby model of the Figure 3 example."""
+    return build_power_model(spec, nap_rpms=())
+
+
+@pytest.fixture(scope="session")
+def envelope(model):
+    return EnergyEnvelope(model)
+
+
+@pytest.fixture()
+def practical(model):
+    return PracticalDPM(model)
+
+
+@pytest.fixture()
+def oracle(model):
+    return OracleDPM(model)
+
+
+@pytest.fixture()
+def always_on(model):
+    return AlwaysOnDPM(model)
+
+
+@pytest.fixture()
+def tiny_trace():
+    """Six requests over two disks, exercising hits and misses."""
+    return [
+        IORequest(time=0.0, disk=0, block=10),
+        IORequest(time=1.0, disk=0, block=11),
+        IORequest(time=2.0, disk=1, block=20),
+        IORequest(time=3.0, disk=0, block=10),
+        IORequest(time=4.0, disk=1, block=20, is_write=True),
+        IORequest(time=5.0, disk=0, block=12),
+    ]

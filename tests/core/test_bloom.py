@@ -1,0 +1,61 @@
+"""Tests for the cold-miss Bloom filter."""
+
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.errors import ConfigurationError
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(num_bits=1 << 16, num_hashes=4)
+        keys = [(d, b) for d in range(4) for b in range(500)]
+        for key in keys:
+            bloom.add(key)
+        for key in keys:
+            assert key in bloom
+
+    def test_check_and_add_semantics(self):
+        bloom = BloomFilter(num_bits=1 << 16)
+        assert bloom.check_and_add((0, 1)) is False  # cold
+        assert bloom.check_and_add((0, 1)) is True  # now warm
+
+    def test_fresh_filter_empty(self):
+        bloom = BloomFilter(num_bits=1 << 12)
+        assert (3, 7) not in bloom
+        assert bloom.approximate_population == 0
+
+    def test_false_positive_rate_small_when_sized_right(self):
+        bloom = BloomFilter(num_bits=1 << 17, num_hashes=4)
+        for b in range(2000):
+            bloom.add((0, b))
+        false_positives = sum(
+            1 for b in range(100_000, 104_000) if (1, b) in bloom
+        )
+        assert false_positives / 4000 < 0.01
+
+    def test_theoretical_fp_rate(self):
+        bloom = BloomFilter(num_bits=1 << 14, num_hashes=4)
+        assert bloom.false_positive_rate() == 0.0
+        for b in range(1000):
+            bloom.add((0, b))
+        assert 0.0 < bloom.false_positive_rate() < 1.0
+
+    def test_deterministic_across_instances(self):
+        a = BloomFilter(num_bits=1 << 12)
+        b = BloomFilter(num_bits=1 << 12)
+        a.add((5, 123456))
+        b.add((5, 123456))
+        assert ((5, 123456) in a) and ((5, 123456) in b)
+        # same hash positions -> same words set
+        assert (a._words == b._words).all()
+
+    def test_bits_rounded_to_words(self):
+        bloom = BloomFilter(num_bits=100)
+        assert bloom.num_bits == 128
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(num_bits=10)
+        with pytest.raises(ConfigurationError):
+            BloomFilter(num_hashes=0)

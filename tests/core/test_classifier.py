@@ -1,0 +1,99 @@
+"""Tests for the epoch-based disk classifier."""
+
+import pytest
+
+from repro.core.classifier import DiskClass, DiskClassifier
+from repro.errors import ConfigurationError
+
+
+def make(num_disks=2, threshold=5.0, alpha=0.5, p=0.8, epoch=100.0):
+    return DiskClassifier(
+        num_disks=num_disks,
+        threshold_t=threshold,
+        alpha=alpha,
+        p=p,
+        epoch_length_s=epoch,
+    )
+
+
+def feed_epoch(clf, disk, start, gaps, block_base=0, repeat_blocks=False):
+    """Feed misses with given inter-miss gaps starting at `start`."""
+    t = start
+    for i, gap in enumerate(gaps):
+        t += gap
+        block = block_base + (0 if repeat_blocks else i)
+        clf.observe_miss(disk, (disk, block), t)
+    return t
+
+
+class TestClassifier:
+    def test_everything_regular_initially(self):
+        clf = make()
+        assert clf.classes == [DiskClass.REGULAR, DiskClass.REGULAR]
+
+    def test_first_epoch_all_cold_stays_regular(self):
+        clf = make()
+        feed_epoch(clf, 0, 0.0, [10.0] * 8)
+        clf.observe_time(150.0)  # roll the epoch
+        assert clf.classify(0) is DiskClass.REGULAR  # 100% cold misses
+
+    def test_warm_long_interval_disk_becomes_priority(self):
+        clf = make()
+        # epoch 1: tour the working set (all cold)
+        feed_epoch(clf, 0, 0.0, [10.0] * 9)
+        # epoch 2: same blocks again (warm), long gaps
+        feed_epoch(clf, 0, 100.0, [10.0] * 9)
+        clf.observe_time(250.0)
+        assert clf.classify(0) is DiskClass.PRIORITY
+
+    def test_short_interval_disk_stays_regular(self):
+        clf = make(threshold=5.0)
+        feed_epoch(clf, 0, 0.0, [0.5] * 150)
+        feed_epoch(clf, 0, 100.0, [0.5] * 150)
+        clf.observe_time(250.0)
+        assert clf.classify(0) is DiskClass.REGULAR
+
+    def test_cold_heavy_disk_stays_regular(self):
+        clf = make(alpha=0.3)
+        # every epoch touches entirely fresh blocks with long gaps
+        feed_epoch(clf, 0, 0.0, [20.0] * 4, block_base=0)
+        feed_epoch(clf, 0, 100.0, [20.0] * 4, block_base=1000)
+        clf.observe_time(250.0)
+        assert clf.classify(0) is DiskClass.REGULAR
+
+    def test_untouched_disk_is_priority(self):
+        clf = make()
+        feed_epoch(clf, 0, 0.0, [1.0] * 10)
+        clf.observe_time(150.0)
+        assert clf.classify(1) is DiskClass.PRIORITY
+
+    def test_reclassification_adapts(self):
+        """A disk can lose priority when its workload changes."""
+        clf = make()
+        feed_epoch(clf, 0, 0.0, [10.0] * 9)
+        feed_epoch(clf, 0, 100.0, [10.0] * 9)
+        clf.observe_time(210.0)
+        assert clf.classify(0) is DiskClass.PRIORITY
+        # epoch 3: the disk turns hot with fresh blocks
+        feed_epoch(clf, 0, 210.0, [0.2] * 300, block_base=5000)
+        clf.observe_time(310.0)
+        assert clf.classify(0) is DiskClass.REGULAR
+
+    def test_epochs_counted(self):
+        clf = make(epoch=50.0)
+        clf.observe_time(0.0)
+        clf.observe_time(160.0)  # crosses 3 boundaries (50, 100, 150)
+        assert clf.epochs_completed == 3
+
+    def test_cold_detection_via_bloom(self):
+        clf = make()
+        assert clf.observe_miss(0, (0, 1), 1.0) is True  # cold
+        assert clf.observe_miss(0, (0, 1), 2.0) is False  # warm now
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make(num_disks=0)
+        with pytest.raises(ConfigurationError):
+            make(alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            make(epoch=0.0)

@@ -1,0 +1,59 @@
+"""Tests for the deterministic-miss timeline."""
+
+import math
+
+from repro.core.deterministic import DiskTimeline
+
+
+class TestDiskTimeline:
+    def test_start_is_initial_leader(self):
+        tl = DiskTimeline(start=0.0, end=100.0)
+        nb = tl.neighbors(50.0)
+        assert nb.leader == 0.0
+        assert nb.follower == 100.0
+        assert not nb.coincident
+
+    def test_insert_returns_pre_insertion_neighbors(self):
+        tl = DiskTimeline(start=0.0, end=100.0)
+        nb = tl.insert(40.0)
+        assert nb.leader == 0.0 and nb.follower == 100.0
+        nb2 = tl.insert(60.0)
+        assert nb2.leader == 40.0 and nb2.follower == 100.0
+
+    def test_duplicate_insert_returns_none(self):
+        tl = DiskTimeline()
+        assert tl.insert(10.0) is not None
+        assert tl.insert(10.0) is None
+
+    def test_neighbors_between_points(self):
+        tl = DiskTimeline(start=0.0, end=100.0)
+        tl.insert(20.0)
+        tl.insert(80.0)
+        nb = tl.neighbors(50.0)
+        assert nb.leader == 20.0 and nb.follower == 80.0
+
+    def test_coincident_detection(self):
+        tl = DiskTimeline(start=0.0, end=100.0)
+        tl.insert(20.0)
+        tl.insert(80.0)
+        nb = tl.neighbors(20.0)
+        assert nb.coincident
+        assert nb.leader == 0.0  # previous point
+        assert nb.follower == 80.0  # next point
+
+    def test_contains(self):
+        tl = DiskTimeline()
+        tl.insert(5.0)
+        assert 5.0 in tl
+        assert 6.0 not in tl
+
+    def test_default_end_is_inf(self):
+        tl = DiskTimeline()
+        assert math.isinf(tl.neighbors(1e12).follower)
+
+    def test_ordering_maintained(self):
+        tl = DiskTimeline(start=0.0, end=1000.0)
+        for t in (50.0, 10.0, 30.0, 70.0):
+            tl.insert(t)
+        nb = tl.neighbors(40.0)
+        assert nb.leader == 30.0 and nb.follower == 50.0

@@ -1,0 +1,97 @@
+"""Tests for the epoch interval histogram (Figure 5)."""
+
+import math
+
+import pytest
+
+from repro.core.histogram import IntervalHistogram, default_bin_edges
+from repro.errors import ConfigurationError
+
+
+class TestBinEdges:
+    def test_default_log_spaced(self):
+        edges = default_bin_edges(1e-3, 1e4, 64)
+        assert len(edges) == 64
+        assert edges[0] == pytest.approx(1e-3)
+        assert edges[-1] == pytest.approx(1e4)
+        ratios = [b / a for a, b in zip(edges, edges[1:])]
+        assert max(ratios) == pytest.approx(min(ratios))
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_bin_edges(1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            default_bin_edges(1.0, 2.0, 1)
+
+
+class TestHistogram:
+    def test_cdf_monotone(self):
+        hist = IntervalHistogram([1.0, 2.0, 4.0, 8.0])
+        for x in (0.5, 1.5, 3.0, 3.5, 6.0, 10.0, 20.0):
+            hist.add(x)
+        previous = 0.0
+        for x in (0.5, 1.0, 2.0, 4.0, 8.0, 100.0):
+            c = hist.cdf(x)
+            assert c >= previous
+            previous = c
+        assert hist.cdf(1e9) == pytest.approx(1.0)
+
+    def test_quantile_inverse_of_cdf(self):
+        hist = IntervalHistogram([1.0, 2.0, 4.0, 8.0])
+        for x in [0.5] * 8 + [3.0] * 2:
+            hist.add(x)
+        assert hist.quantile(0.8) == 1.0  # 80% of intervals <= 1.0
+        assert hist.quantile(0.9) == 4.0
+
+    def test_quantile_empty_is_inf(self):
+        assert math.isinf(IntervalHistogram().quantile(0.8))
+
+    def test_overflow_quantile_inf(self):
+        hist = IntervalHistogram([1.0, 2.0])
+        hist.add(100.0)
+        assert math.isinf(hist.quantile(0.9))
+
+    def test_reset_clears(self):
+        hist = IntervalHistogram([1.0, 2.0])
+        hist.add(0.5)
+        hist.reset()
+        assert hist.total == 0
+        assert hist.cdf(10.0) == 0.0
+
+    def test_mean_approximation(self):
+        hist = IntervalHistogram([1.0, 2.0, 4.0])
+        for x in (0.8, 1.5, 3.0):
+            hist.add(x)
+        # bin upper edges: 1 + 2 + 4 = 7 over 3
+        assert hist.mean() == pytest.approx(7.0 / 3.0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalHistogram().add(-1.0)
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IntervalHistogram([2.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            IntervalHistogram([1.0, 1.0])
+
+    def test_quantile_bounds_validated(self):
+        with pytest.raises(ValueError):
+            IntervalHistogram().quantile(1.5)
+
+    def test_paper_classification_scenario(self):
+        """The Figure 5 use: x_p vs the break-even threshold."""
+        hist = IntervalHistogram(default_bin_edges())
+        # bursty disk: 70% long intervals (30s), 30% short (0.1s)
+        for _ in range(30):
+            hist.add(0.1)
+        for _ in range(70):
+            hist.add(30.0)
+        assert hist.quantile(0.8) >= 5.27  # priority-class material
+
+        hist2 = IntervalHistogram(default_bin_edges())
+        for _ in range(95):
+            hist2.add(1.0)
+        for _ in range(5):
+            hist2.add(30.0)
+        assert hist2.quantile(0.8) < 5.27  # regular-class material

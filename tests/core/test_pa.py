@@ -1,0 +1,123 @@
+"""Tests for the PA wrapper and PA-LRU."""
+
+import pytest
+
+from repro.cache.policies.arc import ARCPolicy
+from repro.core.classifier import DiskClass, DiskClassifier
+from repro.core.pa import PowerAwarePolicy, make_pa_lru
+from repro.errors import PolicyError
+
+
+def make_policy(threshold=5.0, epoch=100.0, num_disks=2, **kwargs):
+    classifier = DiskClassifier(
+        num_disks=num_disks, threshold_t=threshold, epoch_length_s=epoch, **kwargs
+    )
+    return PowerAwarePolicy(classifier), classifier
+
+
+def miss(policy, key, time):
+    policy.on_access(key, time, hit=False)
+    policy.on_insert(key, time)
+
+
+class TestPowerAwarePolicy:
+    def test_acts_like_lru_before_classification(self):
+        policy, _ = make_policy()
+        for i, b in enumerate((1, 2, 3)):
+            miss(policy, (0, b), float(i))
+        assert policy.evict(3.0) == (0, 1)
+
+    def test_priority_blocks_protected(self):
+        policy, clf = make_policy()
+        # make disk 1 priority by construction
+        clf._classes[1] = DiskClass.PRIORITY
+        miss(policy, (1, 10), 0.0)  # priority stack
+        miss(policy, (0, 20), 1.0)  # regular stack
+        miss(policy, (0, 21), 2.0)
+        # evictions drain the regular stack first, oldest first
+        assert policy.evict(3.0) == (0, 20)
+        assert policy.evict(3.0) == (0, 21)
+        assert policy.evict(3.0) == (1, 10)  # only then priority
+
+    def test_eviction_empty_raises(self):
+        policy, _ = make_policy()
+        with pytest.raises(PolicyError):
+            policy.evict(0.0)
+
+    def test_lazy_migration_on_access(self):
+        policy, clf = make_policy()
+        miss(policy, (1, 10), 0.0)  # regular at insert time
+        miss(policy, (0, 20), 1.0)
+        clf._classes[1] = DiskClass.PRIORITY  # reclassify
+        policy.on_access((1, 10), 2.0, hit=True)  # migrates to priority
+        assert policy.evict(3.0) == (0, 20)
+        assert policy.evict(3.0) == (1, 10)
+
+    def test_misses_feed_classifier(self):
+        policy, clf = make_policy()
+        miss(policy, (0, 1), 1.0)
+        assert clf._stats[0].misses == 1
+        assert clf._stats[0].cold_misses == 1
+
+    def test_hits_do_not_count_as_disk_accesses(self):
+        policy, clf = make_policy()
+        miss(policy, (0, 1), 1.0)
+        policy.on_access((0, 1), 2.0, hit=True)
+        assert clf._stats[0].misses == 1
+
+    def test_remove_forgets(self):
+        policy, _ = make_policy()
+        miss(policy, (0, 1), 0.0)
+        policy.on_remove((0, 1))
+        assert len(policy) == 0
+
+    def test_pinned_reinsert_preserved(self):
+        policy, _ = make_policy()
+        miss(policy, (0, 1), 0.0)
+        policy.on_insert((0, 1), 5.0)  # pinned-victim re-insert
+        assert len(policy) == 1
+
+    def test_len_spans_both_stacks(self):
+        policy, clf = make_policy()
+        clf._classes[1] = DiskClass.PRIORITY
+        miss(policy, (0, 1), 0.0)
+        miss(policy, (1, 2), 1.0)
+        assert len(policy) == 2
+
+    def test_wrapping_arc(self):
+        classifier = DiskClassifier(num_disks=2, threshold_t=5.0)
+        policy = PowerAwarePolicy(classifier, lambda: ARCPolicy(8))
+        assert policy.name == "PA-ARC"
+        for b in range(4):
+            miss(policy, (0, b), float(b))
+        assert len(policy) == 4
+        victim = policy.evict(10.0)
+        assert victim[0] == 0
+
+
+class TestMakePALRU:
+    def test_name(self):
+        policy = make_pa_lru(num_disks=4, threshold_t=5.27)
+        assert policy.name == "PA-LRU"
+
+    def test_end_to_end_classification(self):
+        """Disk 1's warm bursty blocks end up protected after 2 epochs."""
+        policy = make_pa_lru(
+            num_disks=2, threshold_t=5.0, epoch_length_s=50.0
+        )
+        # epoch 1: both disks tour their working sets (cold)
+        t = 0.0
+        for b in range(5):
+            t += 10.0
+            miss(policy, (1, b), t)  # disk 1: sparse
+        for i in range(100):
+            miss(policy, (0, 1000 + i), t)  # disk 0: cold flood
+        # epoch 2: disk 1 re-touches its set (warm, long gaps)
+        for b in range(5):
+            t += 10.0
+            miss(policy, (1, b), t)
+        for i in range(100):
+            miss(policy, (0, 2000 + i), t)  # disk 0: still cold flood
+        policy.classifier.observe_time(t + 20.0)  # roll exactly one epoch
+        assert policy.classifier.classify(1) is DiskClass.PRIORITY
+        assert policy.classifier.classify(0) is DiskClass.REGULAR

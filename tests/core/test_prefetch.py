@@ -1,0 +1,121 @@
+"""Tests for the power-aware sequential prefetcher."""
+
+import pytest
+
+from repro.cache.cache import StorageCache
+from repro.cache.policies.lru import LRUPolicy
+from repro.core.prefetch import NoPrefetch, SequentialWakePrefetcher
+from repro.errors import ConfigurationError
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import StorageSimulator
+from repro.sim.runner import run_simulation
+from repro.traces.record import IORequest
+
+
+def cache_with(keys):
+    cache = StorageCache(64, LRUPolicy())
+    for key in keys:
+        cache.access(key, 0.0, False)
+    return cache
+
+
+class TestSequentialWakePrefetcher:
+    def test_plans_following_blocks(self):
+        pf = SequentialWakePrefetcher(depth=3)
+        plan = pf.plan((0, 10), True, 0.0, cache_with([]), disk_blocks=100)
+        assert plan == [(0, 11), (0, 12), (0, 13)]
+
+    def test_skips_when_disk_was_awake(self):
+        pf = SequentialWakePrefetcher(depth=3, only_on_wake=True)
+        assert pf.plan((0, 10), False, 0.0, cache_with([]), 100) == []
+
+    def test_unconditional_mode(self):
+        pf = SequentialWakePrefetcher(depth=2, only_on_wake=False)
+        assert pf.plan((0, 10), False, 0.0, cache_with([]), 100) == [
+            (0, 11),
+            (0, 12),
+        ]
+
+    def test_stops_at_resident_block(self):
+        pf = SequentialWakePrefetcher(depth=4)
+        cache = cache_with([(0, 12)])
+        assert pf.plan((0, 10), True, 0.0, cache, 100) == [(0, 11)]
+
+    def test_clamps_at_disk_end(self):
+        pf = SequentialWakePrefetcher(depth=5)
+        assert pf.plan((0, 98), True, 0.0, cache_with([]), 100) == [(0, 99)]
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SequentialWakePrefetcher(depth=0)
+
+    def test_no_prefetch_never_plans(self):
+        assert NoPrefetch().plan((0, 10), True, 0.0, cache_with([]), 100) == []
+
+
+class TestCacheAdmit:
+    def test_admit_inserts_without_access_stats(self):
+        cache = StorageCache(4, LRUPolicy())
+        cache.admit((0, 1), 0.0)
+        assert (0, 1) in cache
+        assert cache.stats.accesses == 0
+        assert cache.stats.prefetch_admissions == 1
+
+    def test_demand_hit_counts_prefetch_hit_once(self):
+        cache = StorageCache(4, LRUPolicy())
+        cache.admit((0, 1), 0.0)
+        cache.access((0, 1), 1.0, False)
+        cache.access((0, 1), 2.0, False)
+        assert cache.stats.prefetch_hits == 1
+
+    def test_admit_resident_is_noop(self):
+        cache = StorageCache(4, LRUPolicy())
+        cache.access((0, 1), 0.0, False)
+        result = cache.admit((0, 1), 1.0)
+        assert result.hit
+        assert cache.stats.prefetch_admissions == 0
+
+    def test_admit_evicts_when_full(self):
+        cache = StorageCache(1, LRUPolicy())
+        cache.access((0, 1), 0.0, False)
+        result = cache.admit((0, 2), 1.0)
+        assert [k for k, _ in result.evicted] == [(0, 1)]
+
+
+class TestEngineIntegration:
+    def trace(self):
+        # a spun-down disk is woken at t=500 and scanned sequentially
+        return [
+            IORequest(time=0.0, disk=0, block=0),
+            IORequest(time=500.0, disk=0, block=100),
+            IORequest(time=500.5, disk=0, block=101),
+            IORequest(time=501.0, disk=0, block=102),
+            IORequest(time=501.5, disk=0, block=103),
+        ]
+
+    def test_prefetch_turns_scan_into_hits(self):
+        with_pf = run_simulation(
+            self.trace(), "lru", num_disks=1, cache_blocks=64,
+            prefetch_depth=8,
+        )
+        without = run_simulation(
+            self.trace(), "lru", num_disks=1, cache_blocks=64,
+        )
+        assert with_pf.cache_hits == 3  # 101..103 prefetched at 500
+        assert without.cache_hits == 0
+        assert with_pf.prefetch_admissions >= 3
+        assert with_pf.prefetch_hits == 3
+        assert with_pf.prefetch_accuracy > 0.3
+
+    def test_offline_policy_rejected(self):
+        from repro.cache.policies.belady import BeladyPolicy
+        from repro.core.prefetch import SequentialWakePrefetcher
+
+        config = SimulationConfig(num_disks=1, cache_capacity_blocks=8)
+        with pytest.raises(ConfigurationError):
+            StorageSimulator(
+                self.trace(),
+                config,
+                BeladyPolicy(),
+                prefetcher=SequentialWakePrefetcher(),
+            )

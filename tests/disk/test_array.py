@@ -1,0 +1,60 @@
+"""Tests for the disk array."""
+
+import pytest
+
+from repro.disk.array import DiskArray
+from repro.errors import ConfigurationError
+from repro.power.dpm import PracticalDPM
+from repro.power.specs import ULTRASTAR_36Z15
+
+
+@pytest.fixture()
+def array():
+    return DiskArray(4, ULTRASTAR_36Z15, lambda m: PracticalDPM(m))
+
+
+class TestDiskArray:
+    def test_len_and_iteration(self, array):
+        assert len(array) == 4
+        assert [d.disk_id for d in array] == [0, 1, 2, 3]
+
+    def test_zero_disks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskArray(0, ULTRASTAR_36Z15, lambda m: PracticalDPM(m))
+
+    def test_each_disk_gets_fresh_dpm(self, array):
+        dpms = {id(d.dpm) for d in array}
+        assert len(dpms) == 4
+
+    def test_submit_routes_by_disk_id(self, array):
+        array.submit(2, 0.0, 100)
+        assert array[2].request_count == 1
+        assert array[0].request_count == 0
+
+    def test_total_energy_sums_disks(self, array):
+        array.submit(0, 0.0, 100)
+        array.submit(1, 0.0, 100)
+        array.finalize(100.0)
+        assert array.total_energy_j == pytest.approx(
+            sum(d.account.total_energy_j for d in array)
+        )
+
+    def test_total_account_merges(self, array):
+        array.submit(0, 0.0, 100)
+        array.finalize(50.0)
+        total = array.total_account()
+        assert total.requests == 1
+        assert total.total_energy_j == pytest.approx(array.total_energy_j)
+
+    def test_finalize_covers_untouched_disks(self, array):
+        array.finalize(100.0)
+        # even never-accessed disks consumed idle/descent energy
+        for disk in array:
+            assert disk.account.total_energy_j > 0
+
+    def test_mean_interarrivals_keyed_by_disk(self, array):
+        array.submit(1, 0.0, 10)
+        array.submit(1, 4.0, 11)
+        gaps = array.mean_interarrivals()
+        assert gaps[1] == pytest.approx(4.0)
+        assert gaps[0] == float("inf")

@@ -1,0 +1,146 @@
+"""Tests for the simulated disk: queueing, DPM integration, accounting."""
+
+import pytest
+
+from repro.disk.disk import SimulatedDisk
+from repro.errors import SimulationError
+from repro.power.dpm import AlwaysOnDPM, OracleDPM, PracticalDPM
+from repro.power.specs import ULTRASTAR_36Z15, build_power_model
+
+
+def make_disk(dpm_cls=PracticalDPM, **kwargs):
+    model = build_power_model(ULTRASTAR_36Z15)
+    return SimulatedDisk(
+        disk_id=0,
+        spec=ULTRASTAR_36Z15,
+        power_model=model,
+        dpm=dpm_cls(model),
+        **kwargs,
+    )
+
+
+class TestSubmit:
+    def test_service_time_reasonable(self):
+        disk = make_disk()
+        response = disk.submit(0.0, 100)
+        # seek + rotation + transfer on a 15k disk: single-digit ms
+        assert 0.0001 < response.response_time_s < 0.02
+
+    def test_fifo_queueing(self):
+        disk = make_disk()
+        r1 = disk.submit(0.0, 100)
+        r2 = disk.submit(0.0, 50_000)
+        assert r2.start_service >= r1.finish
+        assert r2.response_time_s > r1.response_time_s
+
+    def test_idle_gap_triggers_wake_delay(self):
+        disk = make_disk()
+        disk.submit(0.0, 100)
+        response = disk.submit(200.0, 100)  # long gap: disk in standby
+        assert response.wake_delay_s == pytest.approx(10.9)
+        assert response.response_time_s > 10.9
+
+    def test_short_gap_no_delay(self):
+        disk = make_disk()
+        disk.submit(0.0, 100)
+        response = disk.submit(1.0, 101)
+        assert response.wake_delay_s == 0.0
+
+    def test_out_of_order_rejected(self):
+        disk = make_disk()
+        disk.submit(5.0, 100)
+        with pytest.raises(SimulationError):
+            disk.submit(4.0, 100)
+
+    def test_equal_arrivals_allowed(self):
+        disk = make_disk()
+        disk.submit(5.0, 100)
+        disk.submit(5.0, 101)  # same timestamp queues fine
+
+    def test_service_energy_recorded(self):
+        disk = make_disk()
+        disk.submit(0.0, 100)
+        assert disk.account.requests == 1
+        assert disk.account.service_energy_j > 0
+
+    def test_interarrival_tracking(self):
+        disk = make_disk()
+        for t in (0.0, 10.0, 30.0):
+            disk.submit(t, 100)
+        assert disk.mean_interarrival_s == pytest.approx(15.0)
+        assert disk.request_count == 3
+
+    def test_interarrival_undefined_for_single_request(self):
+        disk = make_disk()
+        disk.submit(0.0, 100)
+        assert disk.mean_interarrival_s == float("inf")
+
+
+class TestIsParked:
+    def test_busy_disk_not_parked(self):
+        disk = make_disk()
+        disk.submit(0.0, 100)
+        assert not disk.is_parked(disk.busy_until - 1e-6)
+
+    def test_parked_after_first_threshold(self):
+        disk = make_disk()
+        disk.submit(0.0, 100)
+        assert not disk.is_parked(disk.busy_until + 1.0)
+        assert disk.is_parked(disk.busy_until + 30.0)
+
+    def test_always_on_never_parks(self):
+        disk = make_disk(dpm_cls=AlwaysOnDPM)
+        disk.submit(0.0, 100)
+        assert not disk.is_parked(1e6)
+
+
+class TestFinalize:
+    def test_trailing_idle_accounted(self):
+        disk = make_disk()
+        disk.submit(0.0, 100)
+        before = disk.account.total_energy_j
+        disk.finalize(1000.0)
+        assert disk.account.total_energy_j > before
+
+    def test_no_wake_charged_at_end(self):
+        disk = make_disk(dpm_cls=OracleDPM)
+        disk.submit(0.0, 100)
+        disk.finalize(1000.0)
+        assert disk.account.spinups == 0  # oracle never woke after t=0
+
+    def test_submit_after_finalize_rejected(self):
+        disk = make_disk()
+        disk.finalize(10.0)
+        with pytest.raises(SimulationError):
+            disk.submit(20.0, 100)
+
+    def test_finalize_idempotent(self):
+        disk = make_disk()
+        disk.submit(0.0, 100)
+        disk.finalize(100.0)
+        energy = disk.account.total_energy_j
+        disk.finalize(100.0)
+        assert disk.account.total_energy_j == energy
+
+
+class TestEnergyConservation:
+    def test_time_accounted_equals_wall_clock(self):
+        """Total accounted time == simulated duration (no lost time)."""
+        disk = make_disk()
+        for t in (0.0, 3.0, 50.0, 51.0, 200.0):
+            disk.submit(t, (int(t * 7) * 997) % 10_000)
+        disk.finalize(400.0)
+        # service happens after wake delays, so accounted time can
+        # exceed the nominal duration by queueing slack only slightly
+        assert disk.account.total_time_s == pytest.approx(400.0, rel=0.1)
+
+    def test_energy_bounded_by_power_extremes(self):
+        disk = make_disk()
+        for t in (0.0, 3.0, 50.0, 51.0, 200.0):
+            disk.submit(t, 5000)
+        disk.finalize(400.0)
+        total_t = disk.account.total_time_s
+        e = disk.account.total_energy_j
+        # bounded below by all-standby, above by all-active + wakes
+        assert e >= 2.5 * total_t * 0.5
+        assert e <= 13.5 * total_t + 5 * 148.0

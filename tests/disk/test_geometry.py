@@ -1,0 +1,71 @@
+"""Tests for LBA <-> CHS mapping."""
+
+import pytest
+
+from repro.disk.geometry import DiskAddress, DiskGeometry
+from repro.errors import ConfigurationError
+from repro.units import GIB
+
+
+@pytest.fixture()
+def geometry():
+    return DiskGeometry(
+        capacity_bytes=1 * GIB,
+        block_size=8192,
+        heads=4,
+        sectors_per_track=256,
+    )
+
+
+class TestConstruction:
+    def test_block_counts(self, geometry):
+        assert geometry.sectors_per_block == 16
+        assert geometry.blocks_per_track == 16
+        assert geometry.blocks_per_cylinder == 64
+        assert geometry.num_blocks == geometry.cylinders * 64
+
+    def test_capacity_rounds_down_to_cylinders(self, geometry):
+        assert geometry.num_blocks * 8192 <= 1 * GIB
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskGeometry(1 * GIB, 1000, 4, 256)  # not sector multiple
+
+    def test_track_not_block_aligned_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskGeometry(1 * GIB, 8192, 4, 250)  # 250 % 16 != 0
+
+    def test_zero_heads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskGeometry(1 * GIB, 8192, 0, 256)
+
+
+class TestMapping:
+    def test_block_zero(self, geometry):
+        assert geometry.locate(0) == DiskAddress(0, 0, 0)
+
+    def test_round_trip_everywhere(self, geometry):
+        for block in range(0, geometry.num_blocks, 977):
+            addr = geometry.locate(block)
+            assert geometry.block_of(addr) == block
+
+    def test_blocks_fill_track_before_head_switch(self, geometry):
+        last_on_track = geometry.locate(geometry.blocks_per_track - 1)
+        first_next = geometry.locate(geometry.blocks_per_track)
+        assert last_on_track.head == 0
+        assert first_next.head == 1
+        assert first_next.cylinder == 0
+
+    def test_cylinder_advances_after_all_heads(self, geometry):
+        block = geometry.blocks_per_cylinder
+        assert geometry.locate(block) == DiskAddress(1, 0, 0)
+
+    def test_out_of_range_rejected(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.locate(geometry.num_blocks)
+        with pytest.raises(ValueError):
+            geometry.locate(-1)
+
+    def test_unaligned_sector_rejected(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.block_of(DiskAddress(0, 0, 3))

@@ -1,0 +1,60 @@
+"""Tests for the three-point seek curve."""
+
+import pytest
+
+from repro.disk.seek import SeekModel
+from repro.errors import ConfigurationError
+from repro.power.specs import ULTRASTAR_36Z15
+
+
+@pytest.fixture()
+def seek():
+    return SeekModel(
+        cylinders=10_000,
+        single_cylinder_s=0.6e-3,
+        average_s=3.4e-3,
+        full_stroke_s=6.5e-3,
+    )
+
+
+class TestSeekModel:
+    def test_zero_distance_free(self, seek):
+        assert seek.seek_time(0) == 0.0
+
+    def test_single_cylinder_matches_datasheet(self, seek):
+        assert seek.seek_time(1) == pytest.approx(0.6e-3)
+
+    def test_third_stroke_matches_average(self, seek):
+        assert seek.seek_time(9999 // 3) == pytest.approx(3.4e-3, rel=0.02)
+
+    def test_full_stroke_matches_datasheet(self, seek):
+        assert seek.seek_time(9999) == pytest.approx(6.5e-3)
+
+    def test_monotone_nondecreasing(self, seek):
+        previous = 0.0
+        for d in range(0, 10_000, 13):
+            t = seek.seek_time(d)
+            assert t >= previous - 1e-12
+            previous = t
+
+    def test_continuous_at_knee(self, seek):
+        knee = seek._knee
+        assert seek.seek_time(knee + 1) - seek.seek_time(knee) < 1e-5
+
+    def test_negative_distance_rejected(self, seek):
+        with pytest.raises(ValueError):
+            seek.seek_time(-1)
+
+    def test_from_spec(self):
+        model = SeekModel.from_spec(ULTRASTAR_36Z15, cylinders=5000)
+        assert model.seek_time(1) == pytest.approx(
+            ULTRASTAR_36Z15.track_to_track_seek_s
+        )
+
+    def test_too_few_cylinders_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SeekModel(1, 1e-3, 2e-3, 3e-3)
+
+    def test_inconsistent_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SeekModel(100, 3e-3, 2e-3, 5e-3)  # single > average

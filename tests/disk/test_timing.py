@@ -1,0 +1,70 @@
+"""Tests for rotational positioning and service-time computation."""
+
+import pytest
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.seek import SeekModel
+from repro.disk.timing import ServiceTimeModel
+from repro.units import GIB
+
+
+@pytest.fixture()
+def timing():
+    geometry = DiskGeometry(1 * GIB, 8192, 4, 256)
+    seek = SeekModel(geometry.cylinders, 0.6e-3, 3.4e-3, 6.5e-3)
+    return ServiceTimeModel(geometry, seek, rpm=15_000)
+
+
+class TestAngularPosition:
+    def test_period(self, timing):
+        assert timing.rotation_period_s == pytest.approx(0.004)
+
+    def test_wraps_every_period(self, timing):
+        assert timing.angular_position(0.0) == pytest.approx(0.0)
+        assert timing.angular_position(0.004) == pytest.approx(0.0, abs=1e-9)
+        assert timing.angular_position(0.002) == pytest.approx(0.5)
+
+    def test_deterministic(self, timing):
+        assert timing.angular_position(1.2345) == timing.angular_position(1.2345)
+
+
+class TestService:
+    def test_breakdown_components_positive(self, timing):
+        breakdown, end_cyl = timing.service(0.0, 0, 1000, 1)
+        assert breakdown.seek_s >= 0
+        assert 0 <= breakdown.rotation_s < timing.rotation_period_s
+        assert breakdown.transfer_s > 0
+        assert breakdown.total_s == pytest.approx(
+            breakdown.seek_s + breakdown.rotation_s + breakdown.transfer_s
+        )
+
+    def test_same_cylinder_no_seek(self, timing):
+        addr_cyl = timing.geometry.locate(5).cylinder
+        breakdown, _ = timing.service(0.0, addr_cyl, 5, 1)
+        assert breakdown.seek_s == 0.0
+
+    def test_end_cylinder_tracks_arm(self, timing):
+        block = timing.geometry.blocks_per_cylinder * 7
+        _, end_cyl = timing.service(0.0, 0, block, 1)
+        assert end_cyl == 7
+
+    def test_transfer_scales_with_blocks(self, timing):
+        one, _ = timing.service(0.0, 0, 0, 1)
+        four, _ = timing.service(0.0, 0, 0, 4)
+        assert four.transfer_s == pytest.approx(4 * one.transfer_s)
+
+    def test_multiblock_clamped_at_disk_end(self, timing):
+        last = timing.geometry.num_blocks - 1
+        breakdown, _ = timing.service(0.0, 0, last, 100)
+        one, _ = timing.service(0.0, 0, last, 1)
+        assert breakdown.transfer_s == pytest.approx(one.transfer_s)
+
+    def test_rotation_depends_on_time(self, timing):
+        # the head arrives at different spindle phases at different times
+        b1, _ = timing.service(0.0, 0, 1000, 1)
+        b2, _ = timing.service(0.0011, 0, 1000, 1)
+        assert b1.rotation_s != pytest.approx(b2.rotation_s)
+
+    def test_zero_blocks_rejected(self, timing):
+        with pytest.raises(ValueError):
+            timing.service(0.0, 0, 0, 0)

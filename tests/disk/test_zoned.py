@@ -1,0 +1,91 @@
+"""Tests for zoned disk geometry."""
+
+import pytest
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.seek import SeekModel
+from repro.disk.timing import ServiceTimeModel
+from repro.disk.zoned import ZonedDiskGeometry
+from repro.errors import ConfigurationError
+from repro.units import GIB
+
+
+@pytest.fixture()
+def zoned():
+    return ZonedDiskGeometry(
+        capacity_bytes=2 * GIB,
+        block_size=8192,
+        heads=4,
+        num_zones=4,
+        outer_sectors_per_track=640,
+        inner_sectors_per_track=384,
+    )
+
+
+class TestZonedDiskGeometry:
+    def test_zone_count_and_ordering(self, zoned):
+        assert len(zoned.zones) == 4
+        capacities = [z.sectors_per_track for z in zoned.zones]
+        assert capacities == sorted(capacities, reverse=True)
+        assert capacities[0] == 640
+        assert capacities[-1] == 384
+
+    def test_zones_block_aligned(self, zoned):
+        for zone in zoned.zones:
+            assert zone.sectors_per_track % zoned.sectors_per_block == 0
+
+    def test_round_trip_across_zones(self, zoned):
+        for block in range(0, zoned.num_blocks, 1009):
+            addr = zoned.locate(block)
+            assert zoned.block_of(addr) == block, block
+
+    def test_zone_boundaries_consistent(self, zoned):
+        for z in range(4):
+            first_block = zoned._zone_first_block[z]
+            addr = zoned.locate(first_block)
+            assert addr.cylinder == zoned._zone_first_cylinder[z]
+            assert addr.head == 0 and addr.sector == 0
+            assert zoned.zone_of_block(first_block) == z
+
+    def test_track_sectors_by_cylinder(self, zoned):
+        assert zoned.track_sectors(0) == 640
+        assert zoned.track_sectors(zoned.cylinders - 1) == 384
+
+    def test_blocks_out_of_range_rejected(self, zoned):
+        with pytest.raises(ValueError):
+            zoned.locate(zoned.num_blocks)
+        with pytest.raises(ValueError):
+            zoned.zone_of_cylinder(zoned.cylinders)
+
+    def test_capacity_near_target(self, zoned):
+        assert zoned.num_blocks * 8192 == pytest.approx(2 * GIB, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZonedDiskGeometry(1 * GIB, 8192, 4, num_zones=0)
+        with pytest.raises(ConfigurationError):
+            ZonedDiskGeometry(
+                1 * GIB, 8192, 4,
+                outer_sectors_per_track=256,
+                inner_sectors_per_track=512,
+            )
+
+    def test_uniform_geometry_track_sectors_constant(self):
+        uniform = DiskGeometry(1 * GIB, 8192, 4, 256)
+        assert uniform.track_sectors(0) == uniform.track_sectors(
+            uniform.cylinders - 1
+        )
+
+
+class TestZonedTiming:
+    def test_outer_zone_transfers_faster(self, zoned):
+        seek = SeekModel(zoned.cylinders, 0.6e-3, 3.4e-3, 6.5e-3)
+        timing = ServiceTimeModel(zoned, seek, rpm=15_000)
+        outer, _ = timing.service(0.0, 0, 0, 4)
+        inner_first = zoned._zone_first_block[-1]
+        inner_cyl = zoned.locate(inner_first).cylinder
+        inner, _ = timing.service(0.0, inner_cyl, inner_first, 4)
+        assert outer.transfer_s < inner.transfer_s
+        assert inner.transfer_s == pytest.approx(
+            outer.transfer_s * 640 / 384, rel=1e-6
+        )

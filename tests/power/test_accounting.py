@@ -1,0 +1,76 @@
+"""Tests for the per-disk energy ledger."""
+
+import pytest
+
+from repro.power.accounting import EnergyAccount
+from repro.power.dpm import IdleOutcome
+
+
+def _outcome(energy=100.0, residency=None, trans_t=2.0, trans_e=30.0):
+    out = IdleOutcome()
+    out.energy_j = energy
+    out.mode_residency_s = residency or {0: 5.0, 5: 10.0}
+    out.transition_time_s = trans_t
+    out.transition_energy_j = trans_e
+    out.spindowns = 1
+    out.spinups = 1
+    out.wake_delay_s = 1.0
+    out.wake_energy_j = 20.0
+    return out
+
+
+class TestEnergyAccount:
+    def test_add_idle_totals(self):
+        acct = EnergyAccount()
+        acct.add_idle(_outcome())
+        # gap energy + wake energy
+        assert acct.total_energy_j == pytest.approx(120.0)
+        assert acct.spinups == 1
+        assert acct.spindowns == 1
+
+    def test_residency_energy_distributed_by_time(self):
+        acct = EnergyAccount()
+        acct.add_idle(_outcome(energy=100.0, trans_e=30.0))
+        # 70 J of residency over 5 + 10 seconds
+        assert acct.mode_energy_j[0] == pytest.approx(70.0 * 5 / 15)
+        assert acct.mode_energy_j[5] == pytest.approx(70.0 * 10 / 15)
+
+    def test_wake_counts_as_transition(self):
+        acct = EnergyAccount()
+        acct.add_idle(_outcome())
+        assert acct.transition_time_s == pytest.approx(3.0)  # 2 + 1 wake
+        assert acct.transition_energy_j == pytest.approx(50.0)
+
+    def test_service_accumulates(self):
+        acct = EnergyAccount()
+        acct.add_service(0.01, 0.135)
+        acct.add_service(0.02, 0.27)
+        assert acct.requests == 2
+        assert acct.service_time_s == pytest.approx(0.03)
+        assert acct.service_energy_j == pytest.approx(0.405)
+
+    def test_time_breakdown_sums_to_one(self):
+        acct = EnergyAccount()
+        acct.add_idle(_outcome())
+        acct.add_service(2.0, 27.0)
+        breakdown = acct.time_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert "mode:0" in breakdown and "service" in breakdown
+
+    def test_empty_breakdown(self):
+        assert EnergyAccount().time_breakdown() == {}
+
+    def test_merge(self):
+        a, b = EnergyAccount(), EnergyAccount()
+        a.add_idle(_outcome())
+        b.add_idle(_outcome())
+        b.add_service(1.0, 13.5)
+        a.merge(b)
+        assert a.spinups == 2
+        assert a.requests == 1
+        assert a.total_energy_j == pytest.approx(2 * 120.0 + 13.5)
+
+    def test_zero_residency_ignored(self):
+        acct = EnergyAccount()
+        acct.add_mode_residency(3, 0.0, 0.0)
+        assert acct.mode_time_s == {}

@@ -1,0 +1,83 @@
+"""Tests for the adaptive-threshold DPM."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.adaptive import AdaptiveThresholdDPM
+from repro.power.dpm import OracleDPM, PracticalDPM
+
+
+@pytest.fixture()
+def adaptive(model):
+    return AdaptiveThresholdDPM(model)
+
+
+class TestAdaptiveThresholdDPM:
+    def test_starts_at_competitive_baseline(self, adaptive, model):
+        baseline = PracticalDPM(model)
+        assert adaptive.thresholds == baseline.thresholds
+        assert adaptive.scale == 1.0
+
+    def test_too_eager_gaps_stretch_thresholds(self, adaptive):
+        first_before = adaptive.thresholds[0][0]
+        # repeated gaps just past the first threshold: descents that
+        # never pay off
+        for _ in range(5):
+            adaptive.process_idle(first_before + 0.5)
+        assert adaptive.scale > 1.0
+        assert adaptive.thresholds[0][0] > first_before
+        assert adaptive.adaptations >= 1
+
+    def test_too_lazy_gaps_shrink_thresholds(self, adaptive):
+        deepest = adaptive.thresholds[-1][0]
+        for _ in range(5):
+            adaptive.process_idle(deepest * 3.0)
+        assert adaptive.scale < 1.0
+
+    def test_scale_clamped(self, adaptive):
+        for _ in range(100):
+            adaptive.process_idle(adaptive.thresholds[0][0] + 0.1)
+        assert adaptive.scale <= adaptive.max_scale
+        for _ in range(200):
+            adaptive.process_idle(adaptive.thresholds[-1][0] * 5)
+        assert adaptive.scale >= adaptive.min_scale
+
+    def test_medium_gaps_leave_thresholds_alone(self, adaptive):
+        before = adaptive.scale
+        # comfortably amortized, not absurdly long: no signal
+        adaptive.process_idle(adaptive.thresholds[0][0] * 2.5)
+        assert adaptive.scale == before
+
+    def test_trailing_gap_does_not_adapt(self, adaptive):
+        before = adaptive.scale
+        adaptive.process_idle(1e4, wake=False)
+        assert adaptive.scale == before
+
+    def test_energy_accounting_stays_consistent(self, adaptive):
+        for gap in (3.0, 8.0, 40.0, 8.0, 200.0):
+            out = adaptive.process_idle(gap)
+            covered = sum(out.mode_residency_s.values()) + out.transition_time_s
+            assert covered == pytest.approx(gap)
+
+    def test_adapts_toward_oracle_on_shifted_workload(self, model):
+        """On a workload whose gaps are all just below the static first
+        threshold, adaptation must not *lose* to the static ladder."""
+        static = PracticalDPM(model)
+        adaptive = AdaptiveThresholdDPM(model)
+        oracle = OracleDPM(model)
+        gap = static.thresholds[0][0] + 0.4  # the static scheme's worst case
+        e_static = sum(static.process_idle(gap).total_energy_j for _ in range(50))
+        e_adaptive = sum(
+            adaptive.process_idle(gap).total_energy_j for _ in range(50)
+        )
+        e_oracle = 50 * oracle.idle_energy(gap)
+        assert e_adaptive < e_static
+        assert e_adaptive >= e_oracle - 1e-6
+
+    def test_invalid_params_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            AdaptiveThresholdDPM(model, grow=1.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveThresholdDPM(model, shrink=1.2)
+        with pytest.raises(ConfigurationError):
+            AdaptiveThresholdDPM(model, min_scale=1.5)

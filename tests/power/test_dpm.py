@@ -1,0 +1,145 @@
+"""Tests for the disk power management schemes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.dpm import AlwaysOnDPM, OracleDPM, PracticalDPM
+
+
+class TestAlwaysOn:
+    def test_full_power_residency(self, always_on, model):
+        out = always_on.process_idle(10.0)
+        assert out.energy_j == pytest.approx(10.0 * model[0].power_w)
+        assert out.mode_residency_s == {0: 10.0}
+        assert out.wake_delay_s == 0.0
+        assert out.spinups == 0
+
+    def test_mode_after_idle_always_zero(self, always_on):
+        assert always_on.mode_after_idle(1e6) == 0
+
+    def test_negative_duration_rejected(self, always_on):
+        with pytest.raises(ValueError):
+            always_on.process_idle(-1.0)
+
+
+class TestOracle:
+    def test_matches_envelope(self, oracle, envelope):
+        for t in (0.5, 3.0, 8.0, 20.0, 100.0, 2000.0):
+            out = oracle.process_idle(t)
+            assert out.total_energy_j == pytest.approx(envelope.min_energy(t))
+
+    def test_never_delays(self, oracle):
+        for t in (1.0, 30.0, 500.0):
+            assert oracle.process_idle(t).wake_delay_s == 0.0
+
+    def test_short_gap_no_transitions(self, oracle):
+        out = oracle.process_idle(1.0)
+        assert out.spindowns == 0
+        assert out.spinups == 0
+
+    def test_long_gap_one_round_trip(self, oracle):
+        out = oracle.process_idle(600.0)
+        assert out.spindowns == 1
+        assert out.spinups == 1
+
+    def test_residency_plus_transitions_cover_gap(self, oracle):
+        for t in (4.0, 18.0, 80.0):
+            out = oracle.process_idle(t)
+            covered = sum(out.mode_residency_s.values()) + out.transition_time_s
+            assert covered == pytest.approx(t)
+
+    def test_final_gap_spins_down_without_wake(self, oracle, model):
+        out = oracle.process_idle(1000.0, wake=False)
+        assert out.spinups == 0
+        assert out.wake_energy_j == 0.0
+        # spin-down only: cheaper than the woken equivalent
+        assert out.total_energy_j < oracle.process_idle(1000.0).total_energy_j
+
+    def test_idle_energy_closed_form(self, oracle, envelope):
+        assert oracle.idle_energy(42.0) == pytest.approx(envelope.min_energy(42.0))
+
+
+class TestPractical:
+    def test_default_thresholds_from_envelope(self, practical, envelope):
+        assert practical.thresholds == envelope.practical_thresholds()
+
+    def test_short_gap_no_cost_beyond_idle(self, practical, model):
+        t = practical.thresholds[0][0] * 0.9
+        out = practical.process_idle(t)
+        assert out.energy_j == pytest.approx(t * model[0].power_w)
+        assert out.wake_delay_s == 0.0
+
+    def test_wake_from_stable_mode(self, practical, model):
+        # park long enough to reach NAP1 but not NAP2's downshift
+        t = (practical.thresholds[0][0] + practical.thresholds[1][0]) / 2
+        out = practical.process_idle(t)
+        assert out.wake_delay_s == pytest.approx(model[1].spinup_time_s)
+        assert out.wake_energy_j == pytest.approx(model[1].spinup_energy_j)
+        assert out.spinups == 1
+
+    def test_wake_mid_spin_down(self, practical, model):
+        start, mode = practical.thresholds[0]
+        shift = practical._steps[0].shift_time
+        t = start + shift / 2  # arrives halfway through the downshift
+        out = practical.process_idle(t)
+        # must finish the downshift, then spin up from the target mode
+        assert out.wake_delay_s == pytest.approx(
+            shift / 2 + model[mode].spinup_time_s
+        )
+        assert out.spinups == 1
+
+    def test_deep_gap_descends_whole_ladder(self, practical, model):
+        out = practical.process_idle(3600.0)
+        assert out.spindowns == len(model) - 1
+        assert out.mode_residency_s.get(len(model) - 1, 0) > 0
+        assert out.wake_delay_s == pytest.approx(model.deepest_mode.spinup_time_s)
+
+    def test_two_competitive(self, practical, oracle):
+        """Irani thresholds: within 2x of Oracle on any gap length."""
+        for k in range(1, 300):
+            t = k * 1.7
+            ratio = practical.idle_energy(t) / oracle.idle_energy(t)
+            assert ratio <= 2.0 + 1e-6, f"gap {t}: ratio {ratio}"
+
+    def test_idle_energy_matches_process_idle(self, practical):
+        for k in range(0, 200):
+            t = k * 0.37
+            assert practical.idle_energy(t) == pytest.approx(
+                practical.process_idle(t).total_energy_j
+            ), f"mismatch at t={t}"
+
+    def test_final_gap_no_wake(self, practical):
+        out = practical.process_idle(100.0, wake=False)
+        assert out.wake_delay_s == 0.0
+        assert out.wake_energy_j == 0.0
+        assert out.spinups == 0
+
+    def test_mode_after_idle_walks_ladder(self, practical, model):
+        assert practical.mode_after_idle(0.0) == 0
+        for (t, mode) in practical.thresholds:
+            assert practical.mode_after_idle(t * 0.999) == mode - 1
+            assert practical.mode_after_idle(t + 0.001) == mode
+        assert practical.mode_after_idle(1e6) == len(model) - 1
+
+    def test_custom_thresholds_validated(self, model):
+        with pytest.raises(ConfigurationError):
+            PracticalDPM(model, thresholds=[(5.0, 2), (10.0, 1)])
+
+    def test_overlapping_thresholds_rejected(self, model):
+        # second threshold begins before the first downshift completes
+        with pytest.raises(ConfigurationError):
+            PracticalDPM(model, thresholds=[(5.0, 1), (5.01, 2)])
+
+    def test_single_threshold_two_mode(self, two_mode_model):
+        dpm = PracticalDPM(two_mode_model)
+        assert len(dpm.thresholds) == 1
+        out = dpm.process_idle(100.0)
+        assert out.spindowns == 1
+        assert out.wake_delay_s == pytest.approx(10.9)
+
+    def test_monotone_energy(self, practical):
+        previous = -1.0
+        for k in range(0, 500):
+            e = practical.idle_energy(k * 0.5)
+            assert e >= previous - 1e-9
+            previous = e

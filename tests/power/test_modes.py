@@ -1,0 +1,109 @@
+"""Tests for PowerMode / PowerModel invariants."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power.modes import PowerMode, PowerModel
+
+
+def _mode(index, name, rpm, power, down_t, down_e, up_t, up_e):
+    return PowerMode(
+        index=index,
+        name=name,
+        rpm=rpm,
+        power_w=power,
+        spindown_time_s=down_t,
+        spindown_energy_j=down_e,
+        spinup_time_s=up_t,
+        spinup_energy_j=up_e,
+    )
+
+
+def _valid_modes():
+    return [
+        _mode(0, "IDLE", 15000, 10.0, 0, 0, 0, 0),
+        _mode(1, "NAP", 9000, 7.0, 1.0, 5.0, 4.0, 50.0),
+        _mode(2, "STANDBY", 0, 2.5, 2.0, 13.0, 10.0, 135.0),
+    ]
+
+
+class TestPowerMode:
+    def test_round_trip_time(self):
+        mode = _mode(1, "NAP", 9000, 7.0, 1.0, 5.0, 4.0, 50.0)
+        assert mode.round_trip_time_s == 5.0
+
+    def test_round_trip_energy(self):
+        mode = _mode(1, "NAP", 9000, 7.0, 1.0, 5.0, 4.0, 50.0)
+        assert mode.round_trip_energy_j == 55.0
+
+    def test_frozen(self):
+        mode = _mode(0, "IDLE", 15000, 10.0, 0, 0, 0, 0)
+        with pytest.raises(AttributeError):
+            mode.power_w = 5.0
+
+
+class TestPowerModel:
+    def test_valid_model_builds(self):
+        model = PowerModel(_valid_modes(), 13.5, 13.5)
+        assert len(model) == 3
+        assert model.idle_mode.name == "IDLE"
+        assert model.deepest_mode.name == "STANDBY"
+
+    def test_empty_rejected(self):
+        with pytest.raises(PowerModelError):
+            PowerModel([], 13.5, 13.5)
+
+    def test_mode_index_mismatch_rejected(self):
+        modes = _valid_modes()
+        modes[1] = _mode(5, "NAP", 9000, 7.0, 1.0, 5.0, 4.0, 50.0)
+        with pytest.raises(PowerModelError):
+            PowerModel(modes, 13.5, 13.5)
+
+    def test_mode0_with_transition_cost_rejected(self):
+        modes = _valid_modes()
+        modes[0] = _mode(0, "IDLE", 15000, 10.0, 1.0, 0, 0, 0)
+        with pytest.raises(PowerModelError):
+            PowerModel(modes, 13.5, 13.5)
+
+    def test_non_decreasing_power_rejected(self):
+        modes = _valid_modes()
+        modes[2] = _mode(2, "STANDBY", 0, 8.0, 2.0, 13.0, 10.0, 135.0)
+        with pytest.raises(PowerModelError):
+            PowerModel(modes, 13.5, 13.5)
+
+    def test_increasing_rpm_rejected(self):
+        modes = _valid_modes()
+        modes[2] = _mode(2, "STANDBY", 16000, 2.5, 2.0, 13.0, 10.0, 135.0)
+        with pytest.raises(PowerModelError):
+            PowerModel(modes, 13.5, 13.5)
+
+    def test_decreasing_spindown_time_rejected(self):
+        modes = _valid_modes()
+        modes[2] = _mode(2, "STANDBY", 0, 2.5, 0.5, 13.0, 10.0, 135.0)
+        with pytest.raises(PowerModelError):
+            PowerModel(modes, 13.5, 13.5)
+
+    def test_iteration_order(self):
+        model = PowerModel(_valid_modes(), 13.5, 13.5)
+        assert [m.index for m in model] == [0, 1, 2]
+
+    def test_getitem(self):
+        model = PowerModel(_valid_modes(), 13.5, 13.5)
+        assert model[1].name == "NAP"
+
+    def test_downshift_costs_compose(self):
+        model = PowerModel(_valid_modes(), 13.5, 13.5)
+        assert model.downshift_time(0, 2) == pytest.approx(2.0)
+        assert model.downshift_time(1, 2) == pytest.approx(1.0)
+        assert model.downshift_energy(1, 2) == pytest.approx(8.0)
+
+    def test_downshift_must_go_deeper(self):
+        model = PowerModel(_valid_modes(), 13.5, 13.5)
+        with pytest.raises(PowerModelError):
+            model.downshift_time(2, 1)
+        with pytest.raises(PowerModelError):
+            model.downshift_time(1, 1)
+
+    def test_repr_lists_modes(self):
+        model = PowerModel(_valid_modes(), 13.5, 13.5)
+        assert "NAP" in repr(model)

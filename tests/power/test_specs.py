@@ -1,0 +1,117 @@
+"""Tests for the Ultrastar spec and the linear DRPM extension."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power.specs import (
+    DEFAULT_NAP_RPMS,
+    ULTRASTAR_36Z15,
+    build_power_model,
+    scale_spinup_cost,
+)
+
+
+class TestDiskSpec:
+    def test_table1_values(self):
+        spec = ULTRASTAR_36Z15
+        assert spec.rpm_max == 15000
+        assert spec.active_power_w == 13.5
+        assert spec.idle_power_w == 10.2
+        assert spec.standby_power_w == 2.5
+        assert spec.spinup_time_s == 10.9
+        assert spec.spinup_energy_j == 135.0
+        assert spec.spindown_time_s == 1.5
+        assert spec.spindown_energy_j == 13.0
+
+    def test_standby_above_idle_rejected(self):
+        with pytest.raises(PowerModelError):
+            dataclasses.replace(ULTRASTAR_36Z15, standby_power_w=11.0)
+
+    def test_rpm_bounds_validated(self):
+        with pytest.raises(PowerModelError):
+            dataclasses.replace(ULTRASTAR_36Z15, rpm_min=16000)
+
+
+class TestBuildPowerModel:
+    def test_default_has_six_modes(self, model):
+        assert len(model) == 6
+        assert [m.name for m in model] == [
+            "IDLE",
+            "NAP1",
+            "NAP2",
+            "NAP3",
+            "NAP4",
+            "STANDBY",
+        ]
+
+    def test_nap_rpms_match_paper(self, model):
+        assert [m.rpm for m in model] == [15000, 12000, 9000, 6000, 3000, 0]
+
+    def test_linear_power_interpolation(self, model):
+        # P(r) = standby + (idle - standby) * r / r_max
+        assert model[1].power_w == pytest.approx(2.5 + 7.7 * 0.8)
+        assert model[4].power_w == pytest.approx(2.5 + 7.7 * 0.2)
+
+    def test_linear_transition_interpolation(self, model):
+        # NAP1 is 20% below full speed: 20% of the standby costs
+        assert model[1].spinup_time_s == pytest.approx(10.9 * 0.2)
+        assert model[1].spinup_energy_j == pytest.approx(135.0 * 0.2)
+        assert model[1].spindown_energy_j == pytest.approx(13.0 * 0.2)
+
+    def test_standby_mode_full_costs(self, model):
+        standby = model.deepest_mode
+        assert standby.spinup_time_s == pytest.approx(10.9)
+        assert standby.spinup_energy_j == pytest.approx(135.0)
+
+    def test_two_mode_variant(self, two_mode_model):
+        assert len(two_mode_model) == 2
+        assert two_mode_model[1].name == "STANDBY"
+
+    def test_no_standby(self):
+        model = build_power_model(include_standby=False)
+        assert len(model) == 1 + len(DEFAULT_NAP_RPMS)
+        assert model.deepest_mode.name.startswith("NAP")
+
+    def test_increasing_nap_speeds_rejected(self):
+        with pytest.raises(PowerModelError):
+            build_power_model(nap_rpms=(9000, 12000))
+
+    def test_duplicate_nap_speeds_rejected(self):
+        with pytest.raises(PowerModelError):
+            build_power_model(nap_rpms=(9000, 9000))
+
+    def test_out_of_range_nap_rejected(self):
+        with pytest.raises(PowerModelError):
+            build_power_model(nap_rpms=(15000,))
+
+    def test_service_power_carried(self, model, spec):
+        assert model.active_power_w == spec.active_power_w
+        assert model.seek_power_w == spec.seek_power_w
+
+
+class TestScaleSpinupCost:
+    def test_energy_scaled(self):
+        spec = scale_spinup_cost(ULTRASTAR_36Z15, 270.0)
+        assert spec.spinup_energy_j == 270.0
+
+    def test_time_scaled_proportionally(self):
+        spec = scale_spinup_cost(ULTRASTAR_36Z15, 67.5)
+        assert spec.spinup_time_s == pytest.approx(10.9 / 2)
+
+    def test_other_fields_kept(self):
+        spec = scale_spinup_cost(ULTRASTAR_36Z15, 270.0)
+        assert spec.idle_power_w == ULTRASTAR_36Z15.idle_power_w
+        assert spec.spindown_energy_j == ULTRASTAR_36Z15.spindown_energy_j
+
+    def test_figure8_sweep_builds(self):
+        # every Figure 8 x-axis point must yield a valid model
+        for cost in (33.75, 67.5, 101.25, 135.0, 202.5, 270.0, 675.0):
+            spec = scale_spinup_cost(ULTRASTAR_36Z15, cost)
+            model = build_power_model(spec)
+            assert model.deepest_mode.spinup_energy_j == pytest.approx(cost)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            scale_spinup_cost(ULTRASTAR_36Z15, 0.0)

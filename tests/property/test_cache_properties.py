@@ -1,0 +1,72 @@
+"""Property-based tests for cache policies (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.policies.belady import BeladyPolicy
+from repro.cache.policies.clock import ClockPolicy
+from repro.cache.policies.fifo import FIFOPolicy
+from repro.cache.policies.lru import LRUPolicy
+from repro.core.energy_optimal import min_misses, simulate_misses
+
+# short random access strings over a small universe
+patterns = st.lists(
+    st.integers(min_value=0, max_value=7), min_size=1, max_size=18
+)
+long_patterns = st.lists(
+    st.integers(min_value=0, max_value=9), min_size=1, max_size=120
+)
+
+
+def seq(blocks):
+    return [(float(i), (0, b)) for i, b in enumerate(blocks)]
+
+
+@given(long_patterns, st.integers(min_value=1, max_value=8))
+@settings(max_examples=120)
+def test_belady_never_beaten_by_online_policies(blocks, capacity):
+    accesses = seq(blocks)
+    belady = len(simulate_misses(accesses, capacity, BeladyPolicy()))
+    for factory in (LRUPolicy, FIFOPolicy, ClockPolicy):
+        online = len(simulate_misses(accesses, capacity, factory()))
+        assert belady <= online, factory.__name__
+
+
+@given(patterns, st.integers(min_value=1, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_belady_matches_bruteforce_minimum(blocks, capacity):
+    accesses = seq(blocks)
+    assert len(
+        simulate_misses(accesses, capacity, BeladyPolicy())
+    ) == min_misses(accesses, capacity)
+
+
+@given(long_patterns, st.integers(min_value=1, max_value=9))
+@settings(max_examples=100)
+def test_lru_inclusion_property(blocks, capacity):
+    """LRU is a stack algorithm: a larger cache's contents always
+    include a smaller cache's, hence misses never increase with size."""
+    accesses = seq(blocks)
+    small = len(simulate_misses(accesses, capacity, LRUPolicy()))
+    large = len(simulate_misses(accesses, capacity + 1, LRUPolicy()))
+    assert large <= small
+
+
+@given(long_patterns, st.integers(min_value=1, max_value=9))
+@settings(max_examples=80)
+def test_miss_count_bounds(blocks, capacity):
+    """Any policy's misses lie between distinct-blocks and accesses."""
+    accesses = seq(blocks)
+    distinct = len(set(blocks))
+    for factory in (LRUPolicy, FIFOPolicy, ClockPolicy, BeladyPolicy):
+        misses = len(simulate_misses(accesses, capacity, factory()))
+        assert distinct <= misses <= len(blocks), factory.__name__
+
+
+@given(long_patterns)
+@settings(max_examples=60)
+def test_fifo_cache_of_universe_size_never_remisses(blocks):
+    """With capacity >= universe, every block misses exactly once."""
+    accesses = seq(blocks)
+    misses = len(simulate_misses(accesses, 10, FIFOPolicy()))
+    assert misses == len(set(blocks))

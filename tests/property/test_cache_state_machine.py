@@ -1,0 +1,83 @@
+"""Stateful property test: the cache's ledgers under random op streams.
+
+Drives :class:`StorageCache` with arbitrary interleavings of demand
+accesses, prefetch admissions, dirty/logged transitions, flushes, and
+invalidations, and checks the bookkeeping invariants after every step:
+
+* ``pinned_count`` equals the number of resident logged blocks;
+* the per-disk dirty ledgers contain exactly the resident blocks whose
+  state is dirty or logged;
+* residency never exceeds capacity (+1 transiently never observable);
+* the policy's size matches the cache's.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.block import disk_of
+from repro.cache.cache import StorageCache
+from repro.cache.policies.lru import LRUPolicy
+from repro.errors import SimulationError
+
+CAPACITY = 8
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["access", "write", "admit", "log", "clean", "invalidate"]
+        ),
+        st.integers(min_value=0, max_value=2),  # disk
+        st.integers(min_value=0, max_value=15),  # block
+    ),
+    max_size=200,
+)
+
+
+def check_invariants(cache: StorageCache) -> None:
+    resident_logged = sum(
+        1 for key in list(cache._blocks) if cache.state(key).logged
+    )
+    assert cache.pinned_count == resident_logged
+    assert len(cache) <= CAPACITY
+    assert len(cache.policy) == len(cache)
+    for disk in range(3):
+        ledger = set(cache.dirty_blocks(disk))
+        truth = {
+            key
+            for key in cache._blocks
+            if disk_of(key) == disk
+            and (cache.state(key).dirty or cache.state(key).logged)
+        }
+        assert ledger == truth, f"disk {disk} ledger drift"
+
+
+@given(ops)
+@settings(max_examples=150, deadline=None)
+def test_ledger_invariants_under_random_ops(op_stream):
+    cache = StorageCache(CAPACITY, LRUPolicy())
+    time = 0.0
+    for op, disk, block in op_stream:
+        key = (disk, block)
+        time += 1.0
+        try:
+            if op == "access":
+                cache.access(key, time, is_write=False)
+            elif op == "write":
+                cache.access(key, time, is_write=True)
+                cache.mark_dirty(key)
+            elif op == "admit":
+                cache.admit(key, time)
+            elif op == "log":
+                if key in cache:
+                    cache.mark_logged(key)
+            elif op == "clean":
+                if key in cache:
+                    cache.mark_clean(key)
+            elif op == "invalidate":
+                cache.invalidate(key)
+        except SimulationError:
+            # every block pinned: a legal refusal, not a ledger bug —
+            # unpin everything and continue
+            for resident in list(cache._blocks):
+                cache.mark_clean(resident)
+        check_invariants(cache)

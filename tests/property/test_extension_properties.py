@@ -1,0 +1,87 @@
+"""Property-based tests for the extension subsystems (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.zoned import ZonedDiskGeometry
+from repro.power.dpm import PracticalDPM
+from repro.power.specs import ULTRASTAR_36Z15, build_power_model
+from repro.units import GIB
+
+MODEL = build_power_model(ULTRASTAR_36Z15)
+DPM = PracticalDPM(MODEL)
+
+gaps = st.floats(min_value=0.0, max_value=5e4, allow_nan=False)
+start_modes = st.integers(min_value=0, max_value=len(MODEL) - 1)
+
+
+@given(start_modes, gaps)
+def test_idle_from_deeper_start_never_costs_more(start_mode, gap):
+    """Starting an idle gap already parked can only save energy."""
+    from_start = DPM.process_idle_from(start_mode, gap, wake=False)
+    from_idle = DPM.process_idle_from(0, gap, wake=False)
+    assert from_start.total_energy_j <= from_idle.total_energy_j + 1e-6
+
+
+@given(start_modes, gaps)
+def test_idle_from_time_conserved(start_mode, gap):
+    out = DPM.process_idle_from(start_mode, gap, wake=False)
+    covered = sum(out.mode_residency_s.values()) + out.transition_time_s
+    assert math.isclose(covered, gap, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(start_modes, gaps)
+def test_idle_from_ends_in_reported_mode(start_mode, gap):
+    """mode_after_idle_from agrees with the residency walk."""
+    end_mode = DPM.mode_after_idle_from(start_mode, gap)
+    assert end_mode >= start_mode
+    out = DPM.process_idle_from(start_mode, gap, wake=False)
+    if gap > 0 and out.mode_residency_s:
+        deepest_resided = max(out.mode_residency_s)
+        assert deepest_resided <= end_mode
+
+
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=16),
+    st.sampled_from([512, 576, 640]),
+    st.sampled_from([256, 320, 384]),
+)
+@settings(max_examples=40, deadline=None)
+def test_zoned_geometry_round_trip(num_zones, heads, outer, inner):
+    geometry = ZonedDiskGeometry(
+        capacity_bytes=1 * GIB,
+        block_size=8192,
+        heads=heads,
+        num_zones=num_zones,
+        outer_sectors_per_track=outer,
+        inner_sectors_per_track=inner,
+    )
+    step = max(1, geometry.num_blocks // 97)
+    for block in range(0, geometry.num_blocks, step):
+        addr = geometry.locate(block)
+        assert geometry.block_of(addr) == block
+        assert 0 <= addr.cylinder < geometry.cylinders
+        assert 0 <= addr.head < heads
+
+
+@given(
+    st.integers(min_value=2, max_value=10),
+)
+@settings(max_examples=20, deadline=None)
+def test_zoned_track_capacity_monotone_inward(num_zones):
+    geometry = ZonedDiskGeometry(
+        capacity_bytes=1 * GIB,
+        block_size=8192,
+        heads=4,
+        num_zones=num_zones,
+        outer_sectors_per_track=640,
+        inner_sectors_per_track=384,
+    )
+    capacities = [
+        geometry.track_sectors(first)
+        for first in geometry._zone_first_cylinder
+    ]
+    assert capacities == sorted(capacities, reverse=True)

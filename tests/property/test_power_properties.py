@@ -1,0 +1,98 @@
+"""Property-based tests for the power-model core (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.dpm import OracleDPM, PracticalDPM
+from repro.power.envelope import EnergyEnvelope
+from repro.power.specs import ULTRASTAR_36Z15, build_power_model
+
+MODEL = build_power_model(ULTRASTAR_36Z15)
+ENVELOPE = EnergyEnvelope(MODEL)
+PRACTICAL = PracticalDPM(MODEL)
+ORACLE = OracleDPM(MODEL)
+
+gaps = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+
+
+@given(gaps)
+def test_envelope_below_idle_line(t):
+    assert ENVELOPE.min_energy(t) <= MODEL[0].power_w * t + 1e-9
+
+
+@given(gaps)
+def test_envelope_above_standby_floor(t):
+    """No gap can cost less than pure standby residency."""
+    assert ENVELOPE.min_energy(t) >= MODEL.deepest_mode.power_w * t - 1e-6
+
+
+@given(gaps, gaps)
+def test_envelope_monotone(a, b):
+    lo, hi = sorted((a, b))
+    assert ENVELOPE.min_energy(lo) <= ENVELOPE.min_energy(hi) + 1e-9
+
+
+@given(gaps, gaps)
+def test_envelope_subadditive(a, b):
+    """E(a) + E(b) >= E(a + b): splitting an idle period never helps.
+
+    This is the property that makes OPG's eviction penalties
+    non-negative and its lazy heap exact.
+    """
+    assert (
+        ENVELOPE.min_energy(a) + ENVELOPE.min_energy(b)
+        >= ENVELOPE.min_energy(a + b) - 1e-6
+    )
+
+
+@given(gaps)
+def test_practical_within_2x_of_oracle(t):
+    practical = PRACTICAL.idle_energy(t)
+    oracle = ORACLE.idle_energy(t)
+    assert practical <= 2.0 * oracle + 1e-6
+
+
+@given(gaps)
+def test_practical_closed_form_matches_walk(t):
+    """The OPG hot path must agree with the engine's accounting."""
+    assert math.isclose(
+        PRACTICAL.idle_energy(t),
+        PRACTICAL.process_idle(t).total_energy_j,
+        rel_tol=1e-9,
+        abs_tol=1e-9,
+    )
+
+
+@given(gaps)
+def test_practical_idle_outcome_time_conserved(t):
+    out = PRACTICAL.process_idle(t)
+    covered = sum(out.mode_residency_s.values()) + out.transition_time_s
+    assert math.isclose(covered, t, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(gaps)
+def test_practical_never_cheaper_than_oracle(t):
+    assert PRACTICAL.idle_energy(t) >= ORACLE.idle_energy(t) - 1e-6
+
+
+@given(gaps)
+def test_oracle_outcome_matches_envelope(t):
+    assert math.isclose(
+        ORACLE.process_idle(t).total_energy_j,
+        ENVELOPE.min_energy(t),
+        rel_tol=1e-9,
+        abs_tol=1e-9,
+    )
+
+
+@given(st.floats(min_value=0.01, max_value=1e4))
+@settings(max_examples=50)
+def test_savings_complement_energy(t):
+    assert math.isclose(
+        ENVELOPE.max_savings(t),
+        MODEL[0].power_w * t - ENVELOPE.min_energy(t),
+        rel_tol=1e-9,
+        abs_tol=1e-9,
+    )

@@ -1,0 +1,119 @@
+"""Tests for the full-system simulation engine."""
+
+import pytest
+
+from repro.cache.policies.lru import LRUPolicy
+from repro.cache.write.write_through import WriteThroughPolicy
+from repro.core.opg import OPGPolicy
+from repro.errors import TraceError
+from repro.power.dpm import PracticalDPM
+from repro.power.specs import build_power_model
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import StorageSimulator
+from repro.traces.record import IORequest
+
+
+def config(**kwargs):
+    defaults = dict(num_disks=2, cache_capacity_blocks=4, dpm="practical")
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+class TestEngineBasics:
+    def test_tiny_run_produces_result(self, tiny_trace):
+        result = StorageSimulator(tiny_trace, config(), LRUPolicy()).run()
+        assert result.cache_accesses == 6
+        assert result.cache_hits == 2  # (0,10) and (1,20) re-accessed
+        assert result.total_energy_j > 0
+        assert result.response.count == 6
+
+    def test_single_use(self, tiny_trace):
+        sim = StorageSimulator(tiny_trace, config(), LRUPolicy())
+        sim.run()
+        with pytest.raises(TraceError):
+            sim.run()
+
+    def test_out_of_order_trace_rejected(self):
+        trace = [
+            IORequest(time=5.0, disk=0, block=1),
+            IORequest(time=4.0, disk=0, block=2),
+        ]
+        with pytest.raises(TraceError):
+            StorageSimulator(trace, config(), LRUPolicy()).run()
+
+    def test_hits_cost_cache_latency(self, tiny_trace):
+        result = StorageSimulator(tiny_trace, config(), LRUPolicy()).run()
+        # fastest responses are pure cache hits
+        assert min(
+            r for r in [result.response.median_s, result.response.mean_s]
+        ) >= 0.0002
+
+    def test_duration_includes_tail(self, tiny_trace):
+        result = StorageSimulator(
+            tiny_trace, config(trace_tail_s=100.0), LRUPolicy()
+        ).run()
+        assert result.duration_s == pytest.approx(5.0 + 100.0)
+
+    def test_empty_trace(self):
+        result = StorageSimulator([], config(), LRUPolicy()).run()
+        assert result.cache_accesses == 0
+        assert result.total_energy_j >= 0
+
+    def test_offline_policy_prepared_automatically(self, tiny_trace):
+        model = build_power_model()
+        policy = OPGPolicy(PracticalDPM(model).idle_energy)
+        result = StorageSimulator(tiny_trace, config(), policy).run()
+        assert result.cache_misses == 4
+
+    def test_multiblock_requests(self):
+        trace = [
+            IORequest(time=0.0, disk=0, block=0, nblocks=3),
+            IORequest(time=1.0, disk=0, block=1, nblocks=1),
+        ]
+        result = StorageSimulator(trace, config(), LRUPolicy()).run()
+        assert result.cache_accesses == 4
+        assert result.cache_hits == 1
+
+    def test_writes_counted(self, tiny_trace):
+        result = StorageSimulator(
+            tiny_trace, config(), LRUPolicy(), WriteThroughPolicy()
+        ).run()
+        assert result.disk_writes == 1
+
+    def test_infinite_cache_only_cold_misses(self, tiny_trace):
+        result = StorageSimulator(
+            tiny_trace, config(cache_capacity_blocks=None), LRUPolicy()
+        ).run()
+        assert result.cache_misses == result.cold_misses
+
+
+class TestEngineEnergyAccounting:
+    def test_per_disk_reports_cover_all_disks(self, tiny_trace):
+        result = StorageSimulator(tiny_trace, config(), LRUPolicy()).run()
+        assert [d.disk_id for d in result.disks] == [0, 1]
+        for report in result.disks:
+            assert report.account.total_energy_j > 0
+
+    def test_disk_energy_sums_per_disk(self, tiny_trace):
+        result = StorageSimulator(tiny_trace, config(), LRUPolicy()).run()
+        assert result.disk_energy_j == pytest.approx(
+            sum(d.account.total_energy_j for d in result.disks)
+        )
+
+    def test_oracle_cheaper_than_practical(self, tiny_trace):
+        practical = StorageSimulator(
+            tiny_trace, config(trace_tail_s=300.0), LRUPolicy()
+        ).run()
+        oracle = StorageSimulator(
+            tiny_trace, config(dpm="oracle", trace_tail_s=300.0), LRUPolicy()
+        ).run()
+        assert oracle.total_energy_j <= practical.total_energy_j
+
+    def test_always_on_is_most_expensive(self, tiny_trace):
+        always = StorageSimulator(
+            tiny_trace, config(dpm="always_on", trace_tail_s=300.0), LRUPolicy()
+        ).run()
+        practical = StorageSimulator(
+            tiny_trace, config(trace_tail_s=300.0), LRUPolicy()
+        ).run()
+        assert practical.total_energy_j <= always.total_energy_j

@@ -1,0 +1,67 @@
+"""Tests for the engine's incremental API (handle_request / finish),
+which the closed-loop driver builds on."""
+
+import pytest
+
+from repro.cache.policies.lru import LRUPolicy
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import StorageSimulator
+from repro.traces.record import IORequest
+
+
+def make_engine(**cfg):
+    config = SimulationConfig(
+        num_disks=cfg.pop("num_disks", 2),
+        cache_capacity_blocks=cfg.pop("cache_blocks", 8),
+        **cfg,
+    )
+    return StorageSimulator((), config, LRUPolicy())
+
+
+class TestIncrementalAPI:
+    def test_handle_request_returns_latency(self):
+        engine = make_engine()
+        latency = engine.handle_request(IORequest(time=0.0, disk=0, block=1))
+        assert latency > 0
+
+    def test_hit_latency_floor(self):
+        engine = make_engine()
+        engine.handle_request(IORequest(time=0.0, disk=0, block=1))
+        hit = engine.handle_request(IORequest(time=1.0, disk=0, block=1))
+        assert hit == pytest.approx(engine.config.cache_hit_latency_s)
+
+    def test_finish_reports_all_handled_requests(self):
+        engine = make_engine()
+        for t in range(5):
+            engine.handle_request(IORequest(time=float(t), disk=0, block=t))
+        result = engine.finish(100.0)
+        assert result.response.count == 5
+        assert result.cache_accesses == 5
+        assert result.duration_s == 100.0
+
+    def test_driving_matches_trace_run(self):
+        """Incremental driving must equal a batch run of the same trace."""
+        trace = [
+            IORequest(time=float(t), disk=t % 2, block=(t * 3) % 11)
+            for t in range(40)
+        ]
+        config = SimulationConfig(num_disks=2, cache_capacity_blocks=8)
+        batch = StorageSimulator(trace, config, LRUPolicy()).run()
+
+        engine = make_engine()
+        for req in trace:
+            engine.handle_request(req)
+        incremental = engine.finish(trace[-1].time + config.trace_tail_s)
+        assert incremental.total_energy_j == pytest.approx(
+            batch.total_energy_j
+        )
+        assert incremental.cache_hits == batch.cache_hits
+        assert incremental.response.mean_s == pytest.approx(
+            batch.response.mean_s
+        )
+
+    def test_wake_delay_visible_in_latency(self):
+        engine = make_engine()
+        engine.handle_request(IORequest(time=0.0, disk=0, block=1))
+        slow = engine.handle_request(IORequest(time=500.0, disk=0, block=2))
+        assert slow > 10.0  # standby spin-up in the path

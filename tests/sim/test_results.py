@@ -1,0 +1,82 @@
+"""Tests for result containers."""
+
+import pytest
+
+from repro.power.accounting import EnergyAccount
+from repro.sim.results import DiskReport, ResponseStats, SimulationResult
+
+
+def make_result(label="x", disk_energy=100.0, log_energy=0.0, **overrides):
+    fields = dict(
+        label=label,
+        dpm="practical",
+        duration_s=10.0,
+        disk_energy_j=disk_energy,
+        log_energy_j=log_energy,
+        disks=[],
+        response=ResponseStats.from_samples([0.001, 0.002, 1.0]),
+        cache_accesses=100,
+        cache_hits=60,
+        cache_misses=40,
+        cold_misses=10,
+        evictions=30,
+        disk_reads=35,
+        disk_writes=5,
+        spinups=3,
+        spindowns=4,
+        pending_dirty=0,
+    )
+    fields.update(overrides)
+    return SimulationResult(**fields)
+
+
+class TestResponseStats:
+    def test_from_samples(self):
+        stats = ResponseStats.from_samples([0.1, 0.2, 0.3, 0.4])
+        assert stats.count == 4
+        assert stats.mean_s == pytest.approx(0.25)
+        assert stats.median_s == pytest.approx(0.25)
+        assert stats.max_s == pytest.approx(0.4)
+
+    def test_empty_samples(self):
+        stats = ResponseStats.from_samples([])
+        assert stats.count == 0
+        assert stats.mean_s == 0.0
+
+    def test_percentiles_ordered(self):
+        stats = ResponseStats.from_samples(list(range(1000)))
+        assert stats.median_s <= stats.p95_s <= stats.p99_s <= stats.max_s
+
+
+class TestSimulationResult:
+    def test_total_energy_includes_log(self):
+        result = make_result(disk_energy=100.0, log_energy=7.0)
+        assert result.total_energy_j == pytest.approx(107.0)
+
+    def test_hit_ratio(self):
+        assert make_result().hit_ratio == pytest.approx(0.6)
+
+    def test_cold_fraction(self):
+        assert make_result().cold_miss_fraction == pytest.approx(0.1)
+
+    def test_normalization(self):
+        a = make_result(disk_energy=80.0)
+        b = make_result(disk_energy=100.0)
+        assert a.energy_relative_to(b) == pytest.approx(0.8)
+        assert a.savings_over(b) == pytest.approx(0.2)
+
+    def test_summary_mentions_key_stats(self):
+        text = make_result(label="pa-lru").summary()
+        assert "pa-lru" in text
+        assert "kJ" in text
+        assert "spinups" in text
+
+    def test_disk_report_breakdown(self):
+        acct = EnergyAccount()
+        acct.add_mode_residency(0, 5.0, 51.0)
+        acct.add_service(1.0, 13.5)
+        report = DiskReport(
+            disk_id=0, account=acct, mean_interarrival_s=2.0, requests=1
+        )
+        breakdown = report.time_breakdown()
+        assert breakdown["mode:0"] == pytest.approx(5.0 / 6.0)

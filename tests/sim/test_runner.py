@@ -1,0 +1,145 @@
+"""Tests for the experiment runner helpers."""
+
+import pytest
+
+from repro.cache.policies import (
+    ARCPolicy,
+    BeladyPolicy,
+    ClockPolicy,
+    FIFOPolicy,
+    LIRSPolicy,
+    LRUPolicy,
+    MQPolicy,
+)
+from repro.cache.write import (
+    WBEUPolicy,
+    WriteBackPolicy,
+    WriteThroughPolicy,
+    WTDUPolicy,
+)
+from repro.core.opg import OPGPolicy
+from repro.core.pa import PowerAwarePolicy
+from repro.errors import ConfigurationError
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import (
+    POLICY_NAMES,
+    build_policy,
+    build_write_policy,
+    run_simulation,
+)
+
+
+def config(capacity=16):
+    return SimulationConfig(num_disks=3, cache_capacity_blocks=capacity)
+
+
+class TestBuildPolicy:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("lru", LRUPolicy),
+            ("fifo", FIFOPolicy),
+            ("clock", ClockPolicy),
+            ("arc", ARCPolicy),
+            ("mq", MQPolicy),
+            ("lirs", LIRSPolicy),
+            ("belady", BeladyPolicy),
+            ("opg", OPGPolicy),
+            ("pa-lru", PowerAwarePolicy),
+            ("pa-arc", PowerAwarePolicy),
+            ("pa-mq", PowerAwarePolicy),
+            ("pa-lirs", PowerAwarePolicy),
+            ("infinite", LRUPolicy),
+        ],
+    )
+    def test_every_name_builds(self, name, cls):
+        assert isinstance(build_policy(name, config()), cls)
+
+    @pytest.mark.parametrize("name", ["pa-arc", "pa-mq", "pa-lirs"])
+    def test_pa_wrappers_need_capacity(self, name):
+        with pytest.raises(ConfigurationError):
+            build_policy(name, config(capacity=None))
+
+    def test_pa_wrapper_names(self):
+        assert build_policy("pa-arc", config()).name == "PA-ARC"
+        assert build_policy("pa-mq", config()).name == "PA-MQ"
+
+    def test_all_names_covered(self):
+        for name in POLICY_NAMES:
+            build_policy(name, config())
+
+    def test_capacity_policies_need_capacity(self):
+        with pytest.raises(ConfigurationError):
+            build_policy("arc", config(capacity=None))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_policy("magic", config())
+
+    def test_opg_theta_forwarded(self):
+        policy = build_policy("opg", config(), theta=42.0)
+        assert policy.theta == 42.0
+
+    def test_pa_lru_threshold_from_envelope(self):
+        policy = build_policy("pa-lru", config())
+        assert policy.classifier.threshold_t == pytest.approx(5.275, abs=0.01)
+
+
+class TestBuildWritePolicy:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("write-through", WriteThroughPolicy),
+            ("wt", WriteThroughPolicy),
+            ("write-back", WriteBackPolicy),
+            ("wb", WriteBackPolicy),
+            ("wbeu", WBEUPolicy),
+            ("wtdu", WTDUPolicy),
+        ],
+    )
+    def test_every_name_builds(self, name, cls):
+        assert isinstance(build_write_policy(name, num_disks=3), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_write_policy("nope", num_disks=3)
+
+
+class TestRunSimulation:
+    def test_end_to_end(self, tiny_trace):
+        result = run_simulation(
+            tiny_trace, "lru", num_disks=2, cache_blocks=4
+        )
+        assert result.cache_accesses == 6
+        assert result.label == "lru"
+
+    def test_infinite_overrides_capacity(self, tiny_trace):
+        result = run_simulation(
+            tiny_trace, "infinite", num_disks=2, cache_blocks=4
+        )
+        assert result.label == "infinite"
+        assert result.cache_misses == result.cold_misses
+
+    def test_every_policy_runs(self, tiny_trace):
+        for name in POLICY_NAMES:
+            result = run_simulation(
+                tiny_trace, name, num_disks=2, cache_blocks=4
+            )
+            assert result.total_energy_j > 0
+
+    def test_every_write_policy_runs(self, tiny_trace):
+        for name in ("write-through", "write-back", "wbeu", "wtdu"):
+            result = run_simulation(
+                tiny_trace,
+                "lru",
+                num_disks=2,
+                cache_blocks=4,
+                write_policy=name,
+            )
+            assert result.total_energy_j > 0
+
+    def test_custom_label(self, tiny_trace):
+        result = run_simulation(
+            tiny_trace, "lru", num_disks=2, cache_blocks=4, label="mine"
+        )
+        assert result.label == "mine"

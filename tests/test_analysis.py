@@ -1,0 +1,78 @@
+"""Tests for the analysis helpers (tables, plotting, figure builders)."""
+
+import pytest
+
+from repro.analysis.figures import belady_counterexample, envelope_series
+from repro.analysis.plotting import bar_chart, percent_bars, sparkline
+from repro.analysis.tables import ascii_table, format_fraction, format_joules
+from repro.power.specs import build_power_model
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        table = ascii_table(["a", "long"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len({len(l) for l in lines if l} | {0}) <= 3
+        assert "333" in table
+
+    def test_title(self):
+        assert ascii_table(["x"], [[1]], title="T").startswith("T\n")
+
+    def test_empty_rows(self):
+        table = ascii_table(["col"], [])
+        assert "col" in table
+
+
+class TestFormatters:
+    def test_joules_units(self):
+        assert format_joules(5.0) == "5.0 J"
+        assert format_joules(5000.0) == "5.0 kJ"
+        assert format_joules(5_000_000.0) == "5.00 MJ"
+
+    def test_fraction(self):
+        assert format_fraction(0.1234) == "12.3%"
+
+
+class TestPlotting:
+    def test_bar_chart_scales_to_peak(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_bar_chart_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_bar_chart_zero_values(self):
+        chart = bar_chart(["a"], [0.0])
+        assert "0" in chart
+
+    def test_sparkline_levels(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_percent_bars_clamped(self):
+        chart = percent_bars(["x"], [1.5], width=10)
+        assert chart.count("█") == 10
+
+
+class TestFigureBuilders:
+    def test_envelope_series_keys(self):
+        model = build_power_model()
+        series = envelope_series(model, [1.0, 10.0])
+        assert "E_min (envelope)" in series
+        assert "STANDBY" in series
+        assert all(len(v) == 2 for v in series.values())
+
+    def test_belady_counterexample_shape(self):
+        result = belady_counterexample()
+        assert result.power_aware_misses > result.belady_misses
+        assert result.power_aware_energy < result.belady_energy

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_prints_model(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Ultrastar" in out
+        assert "STANDBY" in out
+        assert "breakeven" in out
+
+
+class TestGenerate:
+    def test_synthetic(self, tmp_path, capsys):
+        path = tmp_path / "t.csv"
+        code = main(
+            ["generate", "synthetic", "-o", str(path), "--requests", "500"]
+        )
+        assert code == 0
+        assert path.exists()
+        assert "500 requests" in capsys.readouterr().out
+
+    def test_oltp_with_overrides(self, tmp_path, capsys):
+        path = tmp_path / "t.csv"
+        main(
+            [
+                "generate", "oltp", "-o", str(path),
+                "--duration", "60", "--seed", "3", "--write-ratio", "0.5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "disks=21" in out
+
+    def test_cello(self, tmp_path):
+        path = tmp_path / "t.csv"
+        assert main(
+            ["generate", "cello", "-o", str(path), "--duration", "5"]
+        ) == 0
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    path = tmp_path / "trace.csv"
+    main(["generate", "synthetic", "-o", str(path), "--requests", "800"])
+    return str(path)
+
+
+class TestSimulate:
+    def test_lru(self, trace_file, capsys):
+        assert main(["simulate", trace_file, "-p", "lru"]) == 0
+        out = capsys.readouterr().out
+        assert "energy=" in out
+        assert "hit ratio=" in out
+
+    def test_policy_and_options(self, trace_file, capsys):
+        code = main(
+            [
+                "simulate", trace_file, "-p", "pa-lru",
+                "--cache-blocks", "256", "--dpm", "oracle",
+                "-w", "write-through",
+            ]
+        )
+        assert code == 0
+        assert "pa-lru" in capsys.readouterr().out
+
+    def test_prefetch_flag(self, trace_file, capsys):
+        assert main(
+            ["simulate", trace_file, "-p", "lru", "--prefetch-depth", "4"]
+        ) == 0
+
+
+class TestCompare:
+    def test_default_pair(self, trace_file, capsys):
+        assert main(["compare", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "lru" in out and "pa-lru" in out
+        assert "vs lru" in out
+
+    def test_explicit_policies(self, trace_file, capsys):
+        code = main(
+            ["compare", trace_file, "-p", "lru", "-p", "arc", "-p", "clock"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "arc" in out and "clock" in out
+
+    def test_unknown_policy_rejected(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["compare", trace_file, "-p", "bogus"])
+
+
+class TestReproduce:
+    def test_figure3_section_always_runs(self, capsys, monkeypatch):
+        # stub the heavy figure-6 part by shrinking the trace further:
+        # --quick already cuts it to 40 simulated minutes, which runs in
+        # a few seconds — acceptable for one CLI integration test
+        assert main(["reproduce", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "more misses, less energy" in out
+        assert "Figure 6(a)" in out
+        assert "pa-lru" in out

@@ -1,0 +1,84 @@
+"""Tests for the units helpers and the exception hierarchy."""
+
+import math
+
+import pytest
+
+from repro import errors
+from repro.units import (
+    DEFAULT_BLOCK_SIZE,
+    GIB,
+    KIB,
+    MIB,
+    approx_equal,
+    ms,
+    non_negative,
+    positive,
+    rpm_to_period,
+    to_ms,
+)
+
+
+class TestUnits:
+    def test_size_constants(self):
+        assert KIB == 1024
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+        assert DEFAULT_BLOCK_SIZE == 8 * KIB
+
+    def test_ms_round_trip(self):
+        assert ms(250) == pytest.approx(0.25)
+        assert to_ms(0.25) == pytest.approx(250)
+
+    def test_rpm_to_period(self):
+        assert rpm_to_period(15_000) == pytest.approx(0.004)
+        assert rpm_to_period(60) == pytest.approx(1.0)
+
+    def test_rpm_to_period_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            rpm_to_period(0)
+        with pytest.raises(ValueError):
+            rpm_to_period(-100)
+
+    def test_approx_equal(self):
+        assert approx_equal(1.0, 1.0 + 1e-12)
+        assert not approx_equal(1.0, 1.001)
+
+    def test_non_negative(self):
+        assert non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            non_negative(-1.0, "x")
+        with pytest.raises(ValueError):
+            non_negative(math.nan, "x")
+
+    def test_positive(self):
+        assert positive(1.0, "x") == 1.0
+        with pytest.raises(ValueError):
+            positive(0.0, "x")
+        with pytest.raises(ValueError):
+            positive(math.inf, "x")
+
+
+class TestErrors:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "ConfigurationError",
+            "PowerModelError",
+            "TraceError",
+            "SimulationError",
+            "PolicyError",
+            "RecoveryError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PolicyError("x")
+
+    def test_names_mention_domain(self):
+        # error messages built by the library should be self-locating
+        try:
+            raise errors.TraceError("trace not time-ordered at index 3")
+        except errors.ReproError as exc:
+            assert "trace" in str(exc)

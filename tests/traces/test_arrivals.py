@@ -1,0 +1,71 @@
+"""Tests for the arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.arrivals import (
+    ExponentialArrivals,
+    ParetoArrivals,
+    make_arrivals,
+)
+
+
+class TestExponential:
+    def test_mean_converges(self):
+        rng = np.random.default_rng(1)
+        process = ExponentialArrivals(0.25, rng)
+        gaps = [process.next_gap() for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(0.25, rel=0.05)
+
+    def test_gaps_positive(self):
+        rng = np.random.default_rng(2)
+        process = ExponentialArrivals(1.0, rng)
+        assert all(process.next_gap() > 0 for _ in range(100))
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialArrivals(0.0, np.random.default_rng(0))
+
+
+class TestPareto:
+    def test_mean_converges(self):
+        rng = np.random.default_rng(3)
+        process = ParetoArrivals(0.25, rng, shape=1.8)
+        gaps = [process.next_gap() for _ in range(200_000)]
+        assert np.mean(gaps) == pytest.approx(0.25, rel=0.1)
+
+    def test_minimum_is_scale(self):
+        rng = np.random.default_rng(4)
+        process = ParetoArrivals(1.0, rng, shape=1.5)
+        gaps = [process.next_gap() for _ in range(10_000)]
+        assert min(gaps) >= process.scale
+
+    def test_heavier_tail_than_exponential(self):
+        """Infinite-variance burstiness: far more extreme maxima."""
+        rng = np.random.default_rng(5)
+        pareto = ParetoArrivals(1.0, rng, shape=1.2)
+        exp = ExponentialArrivals(1.0, rng)
+        p_gaps = [pareto.next_gap() for _ in range(20_000)]
+        e_gaps = [exp.next_gap() for _ in range(20_000)]
+        assert max(p_gaps) > 3 * max(e_gaps)
+
+    def test_shape_bounds_enforced(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            ParetoArrivals(1.0, rng, shape=1.0)  # infinite mean
+        with pytest.raises(ConfigurationError):
+            ParetoArrivals(1.0, rng, shape=2.5)  # finite variance
+
+
+class TestFactory:
+    def test_dispatch(self):
+        rng = np.random.default_rng(0)
+        assert isinstance(
+            make_arrivals("exponential", 1.0, rng), ExponentialArrivals
+        )
+        assert isinstance(make_arrivals("pareto", 1.0, rng), ParetoArrivals)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_arrivals("uniform", 1.0, np.random.default_rng(0))

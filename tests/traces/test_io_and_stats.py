@@ -1,0 +1,78 @@
+"""Tests for trace persistence and characterization."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.io import iter_trace, load_trace, save_trace
+from repro.traces.record import IORequest
+from repro.traces.stats import characterize
+
+
+class TestTraceIO:
+    def test_round_trip(self, tmp_path, tiny_trace):
+        path = tmp_path / "trace.csv"
+        save_trace(tiny_trace, path)
+        assert load_trace(path) == tiny_trace
+
+    def test_iter_matches_load(self, tmp_path, tiny_trace):
+        path = tmp_path / "trace.csv"
+        save_trace(tiny_trace, path)
+        assert list(iter_trace(path)) == tiny_trace
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_bad_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,disk,block,nblocks,op\n1.0,0,5,1,X\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,disk,block,nblocks,op\n1.0,0,5\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_disordered_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "time,disk,block,nblocks,op\n2.0,0,5,1,R\n1.0,0,6,1,R\n"
+        )
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_write_flag_preserved(self, tmp_path):
+        trace = [IORequest(time=0.0, disk=0, block=1, is_write=True)]
+        path = tmp_path / "w.csv"
+        save_trace(trace, path)
+        assert load_trace(path)[0].is_write
+
+
+class TestCharacterize:
+    def test_tiny_trace_stats(self, tiny_trace):
+        stats = characterize(tiny_trace)
+        assert stats.requests == 6
+        assert stats.disks == 2
+        assert stats.write_fraction == pytest.approx(1 / 6)
+        assert stats.duration_s == pytest.approx(5.0)
+        assert stats.mean_interarrival_s == pytest.approx(1.0)
+        assert stats.distinct_blocks == 4
+        assert stats.cold_fraction == pytest.approx(4 / 6)
+
+    def test_empty_trace(self):
+        stats = characterize([])
+        assert stats.requests == 0
+        assert stats.cold_fraction == 0.0
+
+    def test_multiblock_counted_per_block(self):
+        trace = [IORequest(time=0.0, disk=0, block=0, nblocks=4)]
+        stats = characterize(trace)
+        assert stats.distinct_blocks == 4
+
+    def test_table_row_renders(self, tiny_trace):
+        row = characterize(tiny_trace).table_row("tiny")
+        assert "tiny" in row and "2" in row

@@ -1,0 +1,125 @@
+"""Tests for the spatial/temporal locality models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.locality import SpatialModel, ZipfPopularity, ZipfStackModel
+
+
+class TestSpatialModel:
+    def test_sequential_advances_by_one(self):
+        rng = np.random.default_rng(0)
+        spatial = SpatialModel(1000, rng, p_sequential=1.0, p_local=0.0)
+        first = spatial.next_block(0)
+        assert spatial.next_block(0) == (first + 1) % 1000
+
+    def test_local_stays_within_distance(self):
+        rng = np.random.default_rng(1)
+        spatial = SpatialModel(
+            100_000, rng, p_sequential=0.0, p_local=1.0, max_local_distance=50
+        )
+        previous = spatial.next_block(0)
+        for _ in range(200):
+            block = spatial.next_block(0)
+            assert abs(block - previous) <= 50
+            previous = block
+
+    def test_random_covers_disk(self):
+        rng = np.random.default_rng(2)
+        spatial = SpatialModel(10, rng, p_sequential=0.0, p_local=0.0)
+        seen = {spatial.next_block(0) for _ in range(300)}
+        assert seen == set(range(10))
+
+    def test_blocks_in_range(self):
+        rng = np.random.default_rng(3)
+        spatial = SpatialModel(500, rng)
+        for disk in range(3):
+            for _ in range(200):
+                assert 0 <= spatial.next_block(disk) < 500
+
+    def test_per_disk_cursors_independent(self):
+        rng = np.random.default_rng(4)
+        spatial = SpatialModel(1000, rng, p_sequential=1.0, p_local=0.0)
+        a0 = spatial.next_block(0)
+        spatial.next_block(1)  # other disk must not disturb disk 0
+        assert spatial.next_block(0) == (a0 + 1) % 1000
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpatialModel(100, np.random.default_rng(0), p_sequential=0.9, p_local=0.3)
+
+
+class TestZipfStackModel:
+    def test_reuse_rate_close_to_target(self):
+        rng = np.random.default_rng(5)
+        stack = ZipfStackModel(rng, reuse_probability=0.7)
+        new = 0
+        for i in range(5000):
+            key = stack.next_key()
+            if key is None:
+                new += 1
+                stack.push((0, i))
+        assert 1 - new / 5000 == pytest.approx(0.7, abs=0.03)
+
+    def test_shallow_depths_dominate(self):
+        rng = np.random.default_rng(6)
+        stack = ZipfStackModel(rng, reuse_probability=1.0, zipf_a=1.5)
+        for i in range(50):
+            stack.push((0, i))
+        mru_hits = sum(
+            1 for _ in range(2000) if stack.next_key() == stack.next_key()
+        )
+        # with zipf 1.5 the MRU item dominates: consecutive draws often agree
+        assert mru_hits > 400
+
+    def test_empty_stack_returns_none(self):
+        rng = np.random.default_rng(7)
+        stack = ZipfStackModel(rng, reuse_probability=1.0)
+        assert stack.next_key() is None
+
+    def test_depth_capped(self):
+        rng = np.random.default_rng(8)
+        stack = ZipfStackModel(rng, reuse_probability=0.5, max_depth=10)
+        for i in range(100):
+            stack.push((0, i))
+        assert len(stack) == 10
+
+    def test_invalid_params_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            ZipfStackModel(rng, reuse_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            ZipfStackModel(rng, reuse_probability=0.5, zipf_a=1.0)
+        with pytest.raises(ConfigurationError):
+            ZipfStackModel(rng, reuse_probability=0.5, max_depth=0)
+
+
+class TestZipfPopularity:
+    def test_blocks_within_footprint(self):
+        rng = np.random.default_rng(9)
+        pop = ZipfPopularity(100, rng, zipf_a=1.3, base_block=500)
+        for _ in range(1000):
+            assert 500 <= pop.next_block() < 600
+
+    def test_skew_concentrates_mass(self):
+        rng = np.random.default_rng(10)
+        pop = ZipfPopularity(1000, rng, zipf_a=1.5)
+        from collections import Counter
+
+        counts = Counter(pop.next_block() for _ in range(20_000))
+        top10 = sum(c for _, c in counts.most_common(10))
+        assert top10 > 0.5 * 20_000
+
+    def test_uniform_when_a_leq_1(self):
+        rng = np.random.default_rng(11)
+        pop = ZipfPopularity(50, rng, zipf_a=1.0)
+        from collections import Counter
+
+        counts = Counter(pop.next_block() for _ in range(20_000))
+        assert len(counts) == 50
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_zero_footprint_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity(0, np.random.default_rng(0))

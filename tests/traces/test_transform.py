@@ -1,0 +1,96 @@
+"""Tests for trace transformations."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.record import IORequest, validate_trace
+from repro.traces.transform import (
+    filter_disks,
+    merge,
+    read_only,
+    reads_only,
+    remap_disks,
+    scale_time,
+    time_window,
+)
+
+
+class TestProjections:
+    def test_read_only_flips_writes(self, tiny_trace):
+        projected = read_only(tiny_trace)
+        assert len(projected) == len(tiny_trace)
+        assert not any(r.is_write for r in projected)
+        # timing and addressing preserved
+        assert [(r.time, r.disk, r.block) for r in projected] == [
+            (r.time, r.disk, r.block) for r in tiny_trace
+        ]
+
+    def test_read_only_shares_unchanged_records(self, tiny_trace):
+        projected = read_only(tiny_trace)
+        assert projected[0] is tiny_trace[0]  # reads pass through
+
+    def test_reads_only_drops_writes(self, tiny_trace):
+        reads = reads_only(tiny_trace)
+        assert len(reads) == 5
+        assert not any(r.is_write for r in reads)
+
+    def test_originals_untouched(self, tiny_trace):
+        read_only(tiny_trace)
+        assert any(r.is_write for r in tiny_trace)
+
+
+class TestFilterAndWindow:
+    def test_filter_disks(self, tiny_trace):
+        only_one = filter_disks(tiny_trace, [1])
+        assert {r.disk for r in only_one} == {1}
+        assert len(only_one) == 2
+
+    def test_time_window_rebases(self, tiny_trace):
+        window = time_window(tiny_trace, 2.0, 5.0)
+        assert [r.time for r in window] == [0.0, 1.0, 2.0]
+
+    def test_empty_window_rejected(self, tiny_trace):
+        with pytest.raises(TraceError):
+            time_window(tiny_trace, 5.0, 5.0)
+
+
+class TestScaleTime:
+    def test_stretch(self, tiny_trace):
+        stretched = scale_time(tiny_trace, 2.0)
+        assert stretched[-1].time == pytest.approx(10.0)
+        validate_trace(stretched)
+
+    def test_compress(self, tiny_trace):
+        compressed = scale_time(tiny_trace, 0.5)
+        assert compressed[-1].time == pytest.approx(2.5)
+
+    def test_invalid_factor_rejected(self, tiny_trace):
+        with pytest.raises(TraceError):
+            scale_time(tiny_trace, 0.0)
+
+
+class TestMerge:
+    def test_merge_orders_chronologically(self):
+        a = [IORequest(time=t, disk=0, block=1) for t in (0.0, 2.0, 4.0)]
+        b = [IORequest(time=t, disk=1, block=2) for t in (1.0, 3.0)]
+        merged = merge(a, b)
+        assert [r.time for r in merged] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        validate_trace(merged)
+
+    def test_merge_rejects_disordered_input(self):
+        bad = [
+            IORequest(time=2.0, disk=0, block=1),
+            IORequest(time=1.0, disk=0, block=2),
+        ]
+        with pytest.raises(TraceError):
+            merge(bad)
+
+
+class TestRemapDisks:
+    def test_remap(self, tiny_trace):
+        remapped = remap_disks(tiny_trace, {0: 5, 1: 6})
+        assert {r.disk for r in remapped} == {5, 6}
+
+    def test_missing_mapping_rejected(self, tiny_trace):
+        with pytest.raises(TraceError):
+            remap_disks(tiny_trace, {0: 5})
