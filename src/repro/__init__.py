@@ -22,6 +22,7 @@ Quickstart::
 """
 
 from repro.errors import (
+    CampaignError,
     ConfigurationError,
     PolicyError,
     PowerModelError,
@@ -87,6 +88,14 @@ from repro.traces import (
     generate_cello_trace,
     generate_oltp_trace,
     generate_synthetic_trace,
+    trace_fingerprint,
+)
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    RetryPolicy,
+    RunJournal,
+    run_campaign,
 )
 
 __version__ = "1.0.0"
@@ -96,6 +105,8 @@ __all__ = [
     "AlwaysOnDPM",
     "BeladyPolicy",
     "BloomFilter",
+    "CampaignError",
+    "CampaignSpec",
     "CelloTraceConfig",
     "ClockPolicy",
     "ConfigurationError",
@@ -124,6 +135,9 @@ __all__ = [
     "PracticalDPM",
     "RecoveryError",
     "ReproError",
+    "ResultStore",
+    "RetryPolicy",
+    "RunJournal",
     "SimulatedDisk",
     "SimulationConfig",
     "SimulationError",
@@ -144,6 +158,8 @@ __all__ = [
     "generate_oltp_trace",
     "generate_synthetic_trace",
     "make_pa_lru",
+    "run_campaign",
     "run_simulation",
     "scale_spinup_cost",
+    "trace_fingerprint",
 ]

@@ -4,6 +4,11 @@ The benchmark harness (``benchmarks/``) uses these to regenerate every
 table and figure of the paper's evaluation as printable series/rows.
 """
 
+from repro.analysis.campaigns import (
+    campaign_summary,
+    journal_point_records,
+    summary_table,
+)
 from repro.analysis.figures import (
     belady_counterexample,
     envelope_series,
@@ -19,13 +24,16 @@ from repro.analysis.tables import ascii_table, format_fraction, format_joules
 __all__ = [
     "ascii_table",
     "belady_counterexample",
+    "campaign_summary",
     "envelope_series",
     "format_fraction",
     "format_joules",
     "interval_cdf_series",
+    "journal_point_records",
     "replacement_comparison",
     "savings_series",
     "spinup_cost_sweep",
+    "summary_table",
     "time_breakdown_comparison",
     "write_policy_sweep",
 ]

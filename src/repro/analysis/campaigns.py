@@ -1,0 +1,85 @@
+"""Campaign journal analysis.
+
+Loads the JSONL run journals written by
+:class:`repro.campaign.journal.RunJournal` back into flat records for
+tables: per-point telemetry rows (grid parameters + status + cache
+hit + wall time) and whole-campaign rollups (hit rate, failure count,
+total compute time). These are the campaign-side counterparts of
+:meth:`repro.sim.sweep.SweepResult.records`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.tables import ascii_table
+from repro.campaign.journal import load_journal
+
+
+def journal_point_records(path: str | Path) -> list[dict[str, Any]]:
+    """Flat per-point rows from a journal, sorted by grid index.
+
+    Each row carries the point's sweep parameters (flattened into the
+    record, like sweep records do) plus the executor telemetry:
+    ``status``, ``cache_hit``, ``wall_time_s``, ``worker``, ``retries``.
+    """
+    records = []
+    for event in load_journal(path):
+        if event.get("event") != "point":
+            continue
+        records.append(
+            {
+                "index": event.get("index"),
+                **event.get("params", {}),
+                "status": event.get("status"),
+                "cache_hit": bool(event.get("cache_hit")),
+                "wall_time_s": event.get("wall_time_s", 0.0),
+                "worker": event.get("worker"),
+                "retries": event.get("retries", 0),
+                "error": event.get("error"),
+            }
+        )
+    records.sort(key=lambda r: (r["index"] is None, r["index"]))
+    return records
+
+
+def campaign_summary(path: str | Path) -> dict[str, Any]:
+    """Whole-campaign rollup of one journal."""
+    header: dict[str, Any] = {}
+    for event in load_journal(path):
+        if event.get("event") == "campaign":
+            header = event
+            break
+    points = journal_point_records(path)
+    hits = sum(r["cache_hit"] for r in points)
+    computed = [r for r in points if not r["cache_hit"]]
+    failed = [r for r in points if r["status"] != "ok"]
+    compute_s = sum(r["wall_time_s"] for r in computed)
+    return {
+        "points": len(points),
+        "cache_hits": hits,
+        "hit_rate": hits / len(points) if points else 0.0,
+        "computed": len(computed),
+        "failed": len(failed),
+        "retries": sum(r["retries"] for r in points),
+        "workers": header.get("workers"),
+        "compute_time_s": compute_s,
+        "mean_point_s": compute_s / len(computed) if computed else 0.0,
+    }
+
+
+def summary_table(path: str | Path) -> str:
+    """The rollup as a two-column ASCII table for CLI output."""
+    summary = campaign_summary(path)
+    rows = [
+        ["grid points", summary["points"]],
+        ["cache hits", f"{summary['cache_hits']} ({summary['hit_rate']:.0%})"],
+        ["simulated", summary["computed"]],
+        ["failed", summary["failed"]],
+        ["retries", summary["retries"]],
+        ["workers", summary["workers"]],
+        ["compute time", f"{summary['compute_time_s']:.2f} s"],
+        ["mean point time", f"{summary['mean_point_s']:.2f} s"],
+    ]
+    return ascii_table(["metric", "value"], rows, title="campaign summary")

@@ -1,0 +1,48 @@
+"""Parallel experiment campaigns with content-addressed result caching.
+
+A *campaign* is a grid of simulation points executed through a worker
+pool, backed by an on-disk :class:`~repro.campaign.store.ResultStore`
+so re-running a campaign skips already-computed points, and journaled
+point-by-point to a JSONL :class:`~repro.campaign.journal.RunJournal`
+(wall time, worker id, cache hit/miss, retries). A per-point
+timeout/retry policy keeps one pathological configuration from hanging
+or aborting the whole campaign.
+
+Layers:
+
+* :mod:`repro.campaign.store` — content-addressed result cache. The
+  key is a stable hash of (trace fingerprint, grid-point parameters,
+  code-version salt), so cache entries are invalidated whenever the
+  workload, the configuration, or the simulator source changes.
+* :mod:`repro.campaign.journal` — append-only JSONL run telemetry.
+* :mod:`repro.campaign.executor` — the point executor: serial or
+  ``multiprocessing`` fan-out with per-point timeout and retries.
+  :func:`repro.sim.sweep.grid_sweep` is a thin client of it.
+* :mod:`repro.campaign.spec` — declarative campaign spec files (JSON)
+  and the one-call :func:`~repro.campaign.spec.run_campaign` used by
+  the ``repro campaign`` CLI subcommand.
+"""
+
+from repro.campaign.executor import (
+    PointOutcome,
+    PointTask,
+    RetryPolicy,
+    run_points,
+)
+from repro.campaign.journal import RunJournal, load_journal
+from repro.campaign.spec import CampaignSpec, run_campaign
+from repro.campaign.store import ResultStore, code_version_salt, result_key
+
+__all__ = [
+    "CampaignSpec",
+    "PointOutcome",
+    "PointTask",
+    "ResultStore",
+    "RetryPolicy",
+    "RunJournal",
+    "code_version_salt",
+    "load_journal",
+    "result_key",
+    "run_campaign",
+    "run_points",
+]

@@ -1,0 +1,453 @@
+"""The campaign point executor.
+
+Runs a list of :class:`PointTask` grid points either serially (in
+process, in grid order — exactly what the historical ``grid_sweep``
+loop did) or fanned out over a pool of ``multiprocessing`` workers.
+Either way the executor consults an optional
+:class:`~repro.campaign.store.ResultStore` before computing a point,
+persists fresh results back, journals per-point telemetry, and applies
+a per-point timeout/retry policy so one pathological configuration can
+neither hang nor abort a whole campaign.
+
+The worker pool is deliberately not ``multiprocessing.Pool``: enforcing
+a *hard* per-point timeout requires terminating the stuck worker
+process and respawning it, which ``Pool`` cannot do for a single task.
+Each worker is one long-lived process holding the workload trace,
+receiving ``(index, trace_args, run_kwargs)`` tuples over a pipe and
+replying with the pickled :class:`~repro.sim.results.SimulationResult`.
+Results are therefore bit-identical to a serial run: the same
+deterministic simulation executes, only in another process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Callable, Sequence
+
+from repro.errors import CampaignError
+from repro.sim.results import SimulationResult
+from repro.sim.runner import run_simulation
+from repro.traces.record import IORequest
+
+from repro.campaign.journal import RunJournal
+from repro.campaign.store import ResultStore, result_key, workload_token
+
+#: Computes one grid point: ``point_fn(workload, **run_kwargs)``.
+PointFn = Callable[..., SimulationResult]
+
+#: Worker id recorded for points the parent served from the store.
+PARENT_WORKER = -1
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One grid point to execute."""
+
+    index: int
+    params: dict[str, Any]
+    run_kwargs: dict[str, Any]
+    #: Factory arguments when the workload is generated per point;
+    #: ``None`` means "use the shared fixed trace".
+    trace_args: dict[str, Any] | None = None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-point fault policy.
+
+    ``timeout_s`` is enforced only in parallel mode (enforcing it
+    serially would require killing our own process); ``retries`` is the
+    number of *additional* attempts after the first.
+    """
+
+    timeout_s: float | None = None
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise CampaignError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.retries < 0:
+            raise CampaignError(f"retries must be >= 0, got {self.retries}")
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one grid point."""
+
+    task: PointTask
+    status: str  # "ok" | "failed" | "timeout"
+    result: SimulationResult | None = None
+    cache_hit: bool = False
+    wall_time_s: float = 0.0
+    worker: int = PARENT_WORKER
+    retries: int = 0
+    key: str | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def journal_fields(self) -> dict[str, Any]:
+        return {
+            "index": self.task.index,
+            "params": self.task.params,
+            "status": self.status,
+            "cache_hit": self.cache_hit,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "worker": self.worker,
+            "retries": self.retries,
+            "key": self.key,
+            "error": self.error,
+        }
+
+
+def _worker_main(
+    conn,
+    worker_id: int,
+    trace: Sequence[IORequest] | Callable,
+    point_fn: PointFn,
+) -> None:
+    """Worker loop: receive a point, simulate, reply. ``None`` stops."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        index, trace_args, run_kwargs = message
+        started = time.perf_counter()
+        try:
+            workload = trace(**trace_args) if trace_args is not None else trace
+            result = point_fn(workload, **run_kwargs)
+            reply = (index, "ok", result, time.perf_counter() - started)
+        except Exception:
+            reply = (
+                index,
+                "error",
+                traceback.format_exc(limit=20),
+                time.perf_counter() - started,
+            )
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Worker:
+    """A long-lived simulation process plus its parent-side pipe end."""
+
+    def __init__(self, ctx, worker_id, trace, point_fn) -> None:
+        self.id = worker_id
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, worker_id, trace, point_fn),
+            daemon=True,
+            name=f"campaign-worker-{worker_id}",
+        )
+        self.process.start()
+        child_conn.close()
+
+    def submit(self, task: PointTask) -> None:
+        self.conn.send((task.index, task.trace_args, task.run_kwargs))
+
+    def stop(self) -> None:
+        """Polite shutdown; used for idle workers."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.kill()
+        self.conn.close()
+
+    def kill(self) -> None:
+        """Hard shutdown; used for timed-out or dead workers."""
+        self.process.terminate()
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        self.conn.close()
+
+
+@dataclass
+class _Attempt:
+    """Book-keeping for one in-flight point."""
+
+    task: PointTask
+    worker: _Worker
+    tries: int  # attempts already failed before this one
+    started: float = field(default_factory=time.perf_counter)
+
+    def deadline(self, timeout_s: float | None) -> float | None:
+        return None if timeout_s is None else self.started + timeout_s
+
+
+def run_points(
+    tasks: Sequence[PointTask],
+    *,
+    trace: Sequence[IORequest] | Callable,
+    point_fn: PointFn = run_simulation,
+    workers: int = 1,
+    store: ResultStore | None = None,
+    journal: RunJournal | None = None,
+    retry: RetryPolicy | None = None,
+    on_error: str = "raise",
+) -> list[PointOutcome]:
+    """Execute grid points, returning outcomes in task order.
+
+    Args:
+        tasks: The grid points; indices must be unique.
+        trace: Shared fixed workload, or a factory called per point
+            with the task's ``trace_args``.
+        point_fn: Simulation entry point (defaults to
+            :func:`~repro.sim.runner.run_simulation`). Must be
+            picklable (module-level) when ``workers > 1``.
+        workers: ``1`` runs serially in-process and in grid order,
+            reproducing the classic sweep loop exactly; ``> 1`` fans
+            out over that many processes.
+        store: Optional result cache, consulted before any compute.
+        journal: Optional JSONL telemetry sink.
+        retry: Timeout/retry policy (default: no timeout, no retries).
+        on_error: ``"raise"`` propagates the first exhausted failure
+            (:class:`CampaignError`); ``"record"`` reports it in the
+            outcome and keeps the campaign going.
+
+    Returns:
+        One :class:`PointOutcome` per task, ordered by task position.
+    """
+    if on_error not in ("raise", "record"):
+        raise CampaignError(f"on_error must be 'raise' or 'record', not {on_error!r}")
+    if workers < 1:
+        raise CampaignError(f"workers must be >= 1, got {workers}")
+    retry = retry or RetryPolicy()
+
+    outcomes: dict[int, PointOutcome] = {}
+    pending: list[PointTask] = []
+    for task in tasks:
+        key = None
+        if store is not None:
+            key = result_key(
+                workload_token(trace, task.trace_args), task.run_kwargs
+            )
+            cached = store.get(key)
+            if cached is not None:
+                outcomes[task.index] = PointOutcome(
+                    task=task,
+                    status="ok",
+                    result=cached,
+                    cache_hit=True,
+                    key=key,
+                )
+                continue
+        pending.append(task)
+
+    if journal is not None:
+        journal.write(
+            "campaign",
+            points=len(tasks),
+            cached=len(outcomes),
+            workers=workers,
+            timeout_s=retry.timeout_s,
+            retries=retry.retries,
+            store=str(store.root) if store is not None else None,
+        )
+        # cache hits are final the moment they are discovered
+        for index in sorted(outcomes):
+            journal.write("point", **outcomes[index].journal_fields())
+
+    def finalize(outcome: PointOutcome) -> None:
+        outcomes[outcome.task.index] = outcome
+        if store is not None and outcome.ok and not outcome.cache_hit:
+            store.put(outcome.key, outcome.result, params=outcome.task.params)
+        if journal is not None:
+            journal.write("point", **outcome.journal_fields())
+
+    def key_of(task: PointTask) -> str | None:
+        if store is None:
+            return None
+        return result_key(workload_token(trace, task.trace_args), task.run_kwargs)
+
+    if workers == 1:
+        _run_serial(pending, trace, point_fn, retry, on_error, key_of, finalize)
+    else:
+        _run_parallel(
+            pending, trace, point_fn, workers, retry, on_error, key_of, finalize
+        )
+
+    return [outcomes[task.index] for task in tasks]
+
+
+def _run_serial(pending, trace, point_fn, retry, on_error, key_of, finalize):
+    """In-process execution, grid order preserved."""
+    for task in pending:
+        tries = 0
+        while True:
+            started = time.perf_counter()
+            try:
+                workload = (
+                    trace(**task.trace_args)
+                    if task.trace_args is not None
+                    else trace
+                )
+                result = point_fn(workload, **task.run_kwargs)
+            except Exception as exc:
+                if tries < retry.retries:
+                    tries += 1
+                    continue
+                if on_error == "raise":
+                    raise
+                finalize(
+                    PointOutcome(
+                        task=task,
+                        status="failed",
+                        wall_time_s=time.perf_counter() - started,
+                        retries=tries,
+                        key=key_of(task),
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                break
+            finalize(
+                PointOutcome(
+                    task=task,
+                    status="ok",
+                    result=result,
+                    wall_time_s=time.perf_counter() - started,
+                    worker=0,
+                    retries=tries,
+                    key=key_of(task),
+                )
+            )
+            break
+
+
+def _run_parallel(pending, trace, point_fn, workers, retry, on_error, key_of, finalize):
+    """Fan pending points out over a pool of worker processes."""
+    ctx = multiprocessing.get_context()
+    pool_size = min(workers, len(pending))
+    if pool_size == 0:
+        return
+    pool = [_Worker(ctx, i, trace, point_fn) for i in range(pool_size)]
+    idle: deque[_Worker] = deque(pool)
+    queue: deque[tuple[PointTask, int]] = deque((t, 0) for t in pending)
+    inflight: dict[int, _Attempt] = {}  # worker id -> attempt
+    failures: list[PointOutcome] = []
+
+    def respawn(worker: _Worker) -> _Worker:
+        worker.kill()
+        fresh = _Worker(ctx, worker.id, trace, point_fn)
+        pool[pool.index(worker)] = fresh
+        return fresh
+
+    def settle(outcome: PointOutcome) -> None:
+        finalize(outcome)
+        if not outcome.ok:
+            failures.append(outcome)
+
+    def retry_or_settle(attempt: _Attempt, status: str, error: str) -> None:
+        if attempt.tries < retry.retries:
+            queue.appendleft((attempt.task, attempt.tries + 1))
+        else:
+            settle(
+                PointOutcome(
+                    task=attempt.task,
+                    status=status,
+                    wall_time_s=time.perf_counter() - attempt.started,
+                    worker=attempt.worker.id,
+                    retries=attempt.tries,
+                    key=key_of(attempt.task),
+                    error=error,
+                ),
+            )
+
+    try:
+        while queue or inflight:
+            while queue and idle:
+                task, tries = queue.popleft()
+                worker = idle.popleft()
+                worker.submit(task)
+                inflight[worker.id] = _Attempt(task, worker, tries)
+
+            now = time.perf_counter()
+            deadlines = [
+                a.deadline(retry.timeout_s)
+                for a in inflight.values()
+                if a.deadline(retry.timeout_s) is not None
+            ]
+            wait_for = None
+            if deadlines:
+                wait_for = max(0.0, min(deadlines) - now)
+            ready = connection_wait(
+                [a.worker.conn for a in inflight.values()], timeout=wait_for
+            )
+
+            for conn in ready:
+                attempt = next(
+                    a for a in inflight.values() if a.worker.conn is conn
+                )
+                worker = attempt.worker
+                try:
+                    _index, status, payload, elapsed = conn.recv()
+                except (EOFError, OSError):
+                    # worker died mid-point (crash, OOM-kill, ...)
+                    del inflight[worker.id]
+                    idle.append(respawn(worker))
+                    retry_or_settle(attempt, "failed", "worker process died")
+                    continue
+                del inflight[worker.id]
+                idle.append(worker)
+                if status == "ok":
+                    settle(
+                        PointOutcome(
+                            task=attempt.task,
+                            status="ok",
+                            result=payload,
+                            wall_time_s=elapsed,
+                            worker=worker.id,
+                            retries=attempt.tries,
+                            key=key_of(attempt.task),
+                        ),
+                    )
+                else:
+                    retry_or_settle(attempt, "failed", payload)
+
+            if retry.timeout_s is not None:
+                now = time.perf_counter()
+                for attempt in [
+                    a
+                    for a in inflight.values()
+                    if now >= a.deadline(retry.timeout_s)
+                ]:
+                    worker = attempt.worker
+                    del inflight[worker.id]
+                    idle.append(respawn(worker))
+                    retry_or_settle(
+                        attempt,
+                        "timeout",
+                        f"point exceeded {retry.timeout_s}s and was killed",
+                    )
+    finally:
+        for worker in pool:
+            if worker.id in inflight:
+                worker.kill()
+            else:
+                worker.stop()
+
+    if failures and on_error == "raise":
+        summary = "; ".join(
+            f"point {o.task.index} {o.task.params}: {o.status} ({o.error})"
+            for o in failures[:5]
+        )
+        raise CampaignError(
+            f"{len(failures)} grid point(s) failed after retries: {summary}"
+        )

@@ -1,0 +1,77 @@
+"""JSONL run journals.
+
+A journal is the campaign's flight recorder: one JSON object per line,
+written as events happen so a crashed or interrupted campaign still
+leaves a complete record of everything it did. Two event kinds:
+
+* ``campaign`` — one header line per run: grid size, worker count,
+  timeout/retry policy, store location.
+* ``point`` — one line per grid point, in *completion* order: the
+  point's index and parameters, status (``ok`` / ``failed`` /
+  ``timeout``), cache hit flag, wall time, serving worker id (``-1``
+  for cache hits served by the parent), retry count, and result key.
+
+:func:`load_journal` reads a journal back; the analysis helpers in
+:mod:`repro.analysis.campaigns` turn it into table records.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.errors import CampaignError
+
+
+class RunJournal:
+    """Append-only JSONL writer, flushed per event."""
+
+    def __init__(self, path: str | Path, *, append: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: TextIO | None = open(self.path, "a" if append else "w")
+
+    def write(self, event: str, **fields: Any) -> None:
+        """Emit one event line."""
+        if self._fh is None:
+            raise CampaignError(f"journal {self.path} already closed")
+        record = {"event": event, "at": round(time.time(), 3), **fields}
+        self._fh.write(json.dumps(record, sort_keys=True, default=repr) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def load_journal(path: str | Path) -> list[dict[str, Any]]:
+    """All events of a journal file, in write order.
+
+    Raises:
+        CampaignError: If the file is missing or a line is not JSON.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CampaignError(f"no journal at {path}")
+    events: list[dict[str, Any]] = []
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise CampaignError(
+                    f"{path}:{line_no}: malformed journal line"
+                ) from exc
+    return events

@@ -1,16 +1,19 @@
 """Command-line interface.
 
-Four subcommands::
+Main subcommands::
 
     python -m repro info                         # Table 1: the disk model
     python -m repro generate oltp -o trace.csv   # produce a workload file
     python -m repro simulate trace.csv -p pa-lru # run one policy
     python -m repro compare trace.csv -p lru -p pa-lru   # normalized table
+    python -m repro campaign spec.json --workers 4 --cache-dir .cache
 
 ``generate`` accepts ``oltp``, ``cello``, or ``synthetic`` and the most
 useful generator knobs; ``simulate``/``compare`` accept any policy from
 :data:`repro.sim.runner.POLICY_NAMES` and any write policy from
-:data:`repro.sim.runner.WRITE_POLICY_NAMES`.
+:data:`repro.sim.runner.WRITE_POLICY_NAMES`. ``campaign`` runs a whole
+experiment grid from a JSON spec file through the parallel, cached,
+journaled executor in :mod:`repro.campaign`.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ import sys
 from typing import Sequence
 
 from repro.analysis.tables import ascii_table
+from repro.errors import ReproError
 from repro.power.envelope import EnergyEnvelope
 from repro.power.specs import ULTRASTAR_36Z15, build_power_model
 from repro.sim.runner import POLICY_NAMES, WRITE_POLICY_NAMES, run_simulation
@@ -104,6 +108,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="reduced trace lengths (~30 s instead of ~3 min)",
     )
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run an experiment grid from a spec file, in parallel and "
+        "resumable (see repro.campaign)",
+    )
+    camp.add_argument("spec", help="campaign spec JSON (see repro.campaign.spec)")
+    camp.add_argument(
+        "--workers", type=int, default=1,
+        help="simulation worker processes (default 1 = serial)",
+    )
+    camp.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed result store; re-runs skip cached points",
+    )
+    camp.add_argument(
+        "--resume", action="store_true",
+        help="require an existing --cache-dir and serve finished points "
+        "from it (error if the store is missing)",
+    )
+    camp.add_argument(
+        "--journal", default=None,
+        help="JSONL telemetry path (default <cache-dir>/journal.jsonl)",
+    )
+    camp.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="kill any grid point exceeding this wall time (workers > 1)",
+    )
+    camp.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts for a failed/timed-out point (default 0)",
+    )
+    camp.add_argument("--csv", default=None, help="export records as CSV")
+    camp.add_argument("--json", default=None, help="export records as JSON")
     return parser
 
 
@@ -283,12 +321,84 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.analysis.campaigns import summary_table
+    from repro.campaign import (
+        CampaignSpec,
+        ResultStore,
+        RetryPolicy,
+        RunJournal,
+        run_campaign,
+    )
+    from repro.errors import CampaignError
+
+    spec = CampaignSpec.from_file(args.spec)
+
+    store = None
+    if args.resume and args.cache_dir is None:
+        raise CampaignError("--resume needs --cache-dir")
+    if args.cache_dir is not None:
+        cache_dir = Path(args.cache_dir)
+        if args.resume and not cache_dir.is_dir():
+            raise CampaignError(
+                f"--resume: no result store at {cache_dir}"
+            )
+        store = ResultStore(cache_dir)
+
+    journal_path = args.journal
+    if journal_path is None and args.cache_dir is not None:
+        journal_path = Path(args.cache_dir) / "journal.jsonl"
+
+    print(
+        f"campaign {spec.name!r}: {spec.grid_size()} grid points, "
+        f"workers={args.workers}"
+        + (f", store={store.root}" if store is not None else "")
+    )
+    journal = RunJournal(journal_path) if journal_path is not None else None
+    try:
+        sweep = run_campaign(
+            spec,
+            workers=args.workers,
+            store=store,
+            journal=journal,
+            retry=RetryPolicy(timeout_s=args.timeout, retries=args.retries),
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+
+    records = sweep.records()
+    if args.csv is not None:
+        sweep.to_csv(args.csv)
+        print(f"wrote {len(records)} records to {args.csv}")
+    if args.json is not None:
+        Path(args.json).write_text(json_module.dumps(records, indent=2))
+        print(f"wrote {len(records)} records to {args.json}")
+    if journal_path is not None:
+        print(summary_table(journal_path))
+    failed = spec.grid_size() - len(records)
+    if failed:
+        print(f"WARNING: {failed} grid point(s) failed; see the journal")
+        return 1
+    if not args.csv and not args.json:
+        best = sweep.best("energy_j")
+        print(
+            f"best energy point: {best.params} -> "
+            f"{best.result.total_energy_j / 1e3:.1f} kJ"
+        )
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "generate": _cmd_generate,
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
     "reproduce": _cmd_reproduce,
+    "campaign": _cmd_campaign,
 }
 
 
@@ -300,6 +410,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     except BrokenPipeError:
         # output piped into a pager/head that closed early — not an error
         return 0
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -50,3 +50,12 @@ class PolicyError(ReproError):
 
 class RecoveryError(ReproError):
     """Crash recovery of a WTDU log region found corrupt state."""
+
+
+class CampaignError(ReproError):
+    """An experiment campaign could not be executed or completed.
+
+    Examples: a malformed campaign spec file, a corrupt result-store
+    entry, or grid points that exhausted their retry budget while the
+    campaign was configured to treat failures as fatal.
+    """

@@ -101,6 +101,43 @@ class EnergyAccount:
         breakdown["service"] = self.service_time_s / total
         return breakdown
 
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict (mode keys become strings)."""
+        return {
+            "mode_time_s": {str(m): t for m, t in self.mode_time_s.items()},
+            "mode_energy_j": {
+                str(m): e for m, e in self.mode_energy_j.items()
+            },
+            "transition_time_s": self.transition_time_s,
+            "transition_energy_j": self.transition_energy_j,
+            "spinups": self.spinups,
+            "spindowns": self.spindowns,
+            "service_time_s": self.service_time_s,
+            "service_energy_j": self.service_energy_j,
+            "requests": self.requests,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyAccount":
+        """Inverse of :meth:`to_dict` (restores int mode keys)."""
+        return cls(
+            mode_time_s={
+                int(m): t for m, t in data["mode_time_s"].items()
+            },
+            mode_energy_j={
+                int(m): e for m, e in data["mode_energy_j"].items()
+            },
+            transition_time_s=data["transition_time_s"],
+            transition_energy_j=data["transition_energy_j"],
+            spinups=data["spinups"],
+            spindowns=data["spindowns"],
+            service_time_s=data["service_time_s"],
+            service_energy_j=data["service_energy_j"],
+            requests=data["requests"],
+        )
+
     def merge(self, other: "EnergyAccount") -> None:
         """Fold another account into this one (array-level totals)."""
         for mode, t in other.mode_time_s.items():

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, fields
 
 import numpy as np
 
@@ -34,6 +34,15 @@ class ResponseStats:
             max_s=float(arr.max()),
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResponseStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class DiskReport:
@@ -46,6 +55,25 @@ class DiskReport:
 
     def time_breakdown(self) -> dict[str, float]:
         return self.account.time_breakdown()
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict."""
+        return {
+            "disk_id": self.disk_id,
+            "account": self.account.to_dict(),
+            "mean_interarrival_s": self.mean_interarrival_s,
+            "requests": self.requests,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DiskReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            disk_id=data["disk_id"],
+            account=EnergyAccount.from_dict(data["account"]),
+            mean_interarrival_s=data["mean_interarrival_s"],
+            requests=data["requests"],
+        )
 
 
 @dataclass(frozen=True)
@@ -107,6 +135,25 @@ class SimulationResult:
     def savings_over(self, baseline: "SimulationResult") -> float:
         """Fractional energy savings vs a baseline (Figures 8 and 9)."""
         return 1.0 - self.energy_relative_to(baseline)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict: the full result, nested reports included."""
+        data = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("disks", "response")
+        }
+        data["disks"] = [d.to_dict() for d in self.disks]
+        data["response"] = self.response.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Inverse of :meth:`to_dict` — exact round-trip through JSON."""
+        kwargs = dict(data)
+        kwargs["disks"] = [DiskReport.from_dict(d) for d in data["disks"]]
+        kwargs["response"] = ResponseStats.from_dict(data["response"])
+        return cls(**kwargs)
 
     def summary(self) -> str:
         """One-paragraph human-readable report."""

@@ -67,11 +67,16 @@ class SweepResult:
             writer.writeheader()
             writer.writerows(records)
 
-    def best(self, metric: str = "energy_j") -> SweepPoint:
-        """The point minimizing ``metric``."""
+    def best(self, metric: str = "energy_j", *, maximize: bool = False) -> SweepPoint:
+        """The point minimizing ``metric`` (or maximizing it).
+
+        Cost-like metrics (``energy_j``, response times) want the
+        default; quality metrics (``hit_ratio``) want ``maximize=True``.
+        """
         if not self.points:
             raise ConfigurationError("empty sweep has no best point")
-        return min(self.points, key=lambda p: p.record()[metric])
+        choose = max if maximize else min
+        return choose(self.points, key=lambda p: p.record()[metric])
 
 
 def grid_sweep(
@@ -81,19 +86,42 @@ def grid_sweep(
     trace_params: Sequence[str] = (),
     num_disks: int,
     cache_blocks: int | None,
+    workers: int = 1,
+    store=None,
+    journal=None,
+    retry=None,
+    on_error: str = "raise",
     **fixed,
 ) -> SweepResult:
     """Run one simulation per point of the cartesian parameter grid.
 
+    Execution is delegated to the campaign executor
+    (:func:`repro.campaign.executor.run_points`): the default
+    ``workers=1`` runs serially, in process and in grid order, and is
+    numerically identical to the historical inline loop; ``workers > 1``
+    fans grid points out over a process pool. An optional result store
+    makes re-runs skip already-computed points, and a journal records
+    per-point telemetry.
+
     Args:
         trace: A fixed trace, or a factory invoked with the grid point's
             ``trace_params`` subset (so axes can regenerate workloads).
+            Factories must be picklable (module-level) for ``workers > 1``.
         axes: Parameter name -> values. Names in ``trace_params`` go to
             the trace factory; the rest go to
             :func:`~repro.sim.runner.run_simulation`.
         trace_params: Which axis names parameterize the trace factory.
         num_disks / cache_blocks / fixed: Passed through to every run.
+        workers: Process-pool size (1 = serial).
+        store: Optional :class:`~repro.campaign.store.ResultStore`.
+        journal: Optional :class:`~repro.campaign.journal.RunJournal`.
+        retry: Optional :class:`~repro.campaign.executor.RetryPolicy`.
+        on_error: ``"raise"`` (default) or ``"record"`` — see
+            :func:`~repro.campaign.executor.run_points`. Recorded
+            failures are journaled and omitted from the result.
     """
+    from repro.campaign.executor import PointTask, run_points
+
     if not axes:
         raise ConfigurationError("need at least one sweep axis")
     trace_axis = set(trace_params)
@@ -105,13 +133,14 @@ def grid_sweep(
             "trace_params given, so `trace` must be a factory callable"
         )
     names = list(axes)
-    sweep = SweepResult()
-    for values in itertools.product(*(axes[n] for n in names)):
+    tasks = []
+    for index, values in enumerate(itertools.product(*(axes[n] for n in names))):
         params = dict(zip(names, values))
-        if callable(trace):
-            workload = trace(**{k: v for k, v in params.items() if k in trace_axis})
-        else:
-            workload = trace
+        trace_args = (
+            {k: v for k, v in params.items() if k in trace_axis}
+            if callable(trace)
+            else None
+        )
         run_kwargs = {k: v for k, v in params.items() if k not in trace_axis}
         # axes override the sweep-wide defaults (e.g. a cache_blocks axis)
         kwargs = {
@@ -120,6 +149,28 @@ def grid_sweep(
             **fixed,
             **run_kwargs,
         }
-        result = run_simulation(workload, **kwargs)
-        sweep.points.append(SweepPoint(params=params, result=result))
+        tasks.append(
+            PointTask(
+                index=index,
+                params=params,
+                run_kwargs=kwargs,
+                trace_args=trace_args,
+            )
+        )
+    outcomes = run_points(
+        tasks,
+        trace=trace,
+        point_fn=run_simulation,
+        workers=workers,
+        store=store,
+        journal=journal,
+        retry=retry,
+        on_error=on_error,
+    )
+    sweep = SweepResult()
+    for outcome in outcomes:
+        if outcome.ok:
+            sweep.points.append(
+                SweepPoint(params=outcome.task.params, result=outcome.result)
+            )
     return sweep

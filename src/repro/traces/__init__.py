@@ -11,6 +11,7 @@ parameterized generator used by the write-policy study lives in
 
 from repro.traces.arrivals import ExponentialArrivals, ParetoArrivals
 from repro.traces.cello import CelloTraceConfig, generate_cello_trace
+from repro.traces.fingerprint import trace_fingerprint
 from repro.traces.locality import SpatialModel, ZipfStackModel
 from repro.traces.oltp import OLTPTraceConfig, generate_oltp_trace
 from repro.traces.record import IORequest, expand_accesses
@@ -32,4 +33,5 @@ __all__ = [
     "generate_cello_trace",
     "generate_oltp_trace",
     "generate_synthetic_trace",
+    "trace_fingerprint",
 ]

@@ -1,0 +1,53 @@
+"""Tests for JSONL run journals."""
+
+import pytest
+
+from repro.campaign.journal import RunJournal, load_journal
+from repro.errors import CampaignError
+
+
+class TestRunJournal:
+    def test_write_and_load(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.write("campaign", points=4, workers=2)
+            journal.write("point", index=0, status="ok")
+        events = load_journal(path)
+        assert [e["event"] for e in events] == ["campaign", "point"]
+        assert events[0]["points"] == 4
+        assert events[1]["status"] == "ok"
+        assert all("at" in e for e in events)
+
+    def test_fresh_journal_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.write("campaign", points=1)
+        with RunJournal(path) as journal:
+            journal.write("campaign", points=2)
+        events = load_journal(path)
+        assert len(events) == 1
+        assert events[0]["points"] == 2
+
+    def test_append_mode_keeps_history(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.write("campaign", points=1)
+        with RunJournal(path, append=True) as journal:
+            journal.write("campaign", points=2)
+        assert len(load_journal(path)) == 2
+
+    def test_write_after_close_rejected(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.close()
+        with pytest.raises(CampaignError):
+            journal.write("point", index=0)
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(CampaignError):
+            load_journal(tmp_path / "absent.jsonl")
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"event": "campaign"}\nnot json\n')
+        with pytest.raises(CampaignError):
+            load_journal(path)

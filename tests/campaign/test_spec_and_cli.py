@@ -1,0 +1,185 @@
+"""Tests for campaign spec files, the analysis loaders, and the CLI."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.campaigns import (
+    campaign_summary,
+    journal_point_records,
+    summary_table,
+)
+from repro.campaign.spec import CampaignSpec, generated_trace, run_campaign
+from repro.cli import main
+from repro.errors import CampaignError
+
+
+def spec_dict(**overrides):
+    base = {
+        "trace": {
+            "workload": "synthetic",
+            "params": {"num_requests": 300, "num_disks": 3, "seed": 9},
+        },
+        "axes": {"policy": ["lru", "fifo"]},
+        "num_disks": 3,
+        "cache_blocks": 32,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestCampaignSpec:
+    def test_from_dict_minimal(self):
+        spec = CampaignSpec.from_dict(spec_dict())
+        assert spec.grid_size() == 2
+        workload = spec.load_workload()
+        assert len(workload) == 300
+        assert spec.resolve_num_disks(workload) == 3
+
+    def test_grid_size_is_product(self):
+        spec = CampaignSpec.from_dict(
+            spec_dict(axes={"policy": ["lru", "fifo"], "dpm": ["practical",
+                      "oracle"], "cache_blocks": [32, 64]})
+        )
+        assert spec.grid_size() == 8
+
+    def test_trace_file_resolved_against_spec_dir(self, tmp_path):
+        trace_path = tmp_path / "t.csv"
+        assert main(
+            ["generate", "synthetic", "-o", str(trace_path),
+             "--requests", "200"]
+        ) == 0
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(spec_dict(trace={"file": "t.csv"}))
+        )
+        spec = CampaignSpec.from_file(spec_path)
+        assert spec.name == "spec"
+        assert len(spec.load_workload()) == 200
+
+    def test_trace_params_build_factory(self):
+        spec = CampaignSpec.from_dict(
+            spec_dict(
+                axes={"write_ratio": [0.0, 1.0], "policy": ["lru"]},
+                trace_params=["write_ratio"],
+            )
+        )
+        factory = spec.load_workload()
+        assert callable(factory)
+        trace = factory(write_ratio=1.0)
+        assert all(r.is_write for r in trace)
+
+    @pytest.mark.parametrize(
+        "broken",
+        [
+            {"axes": {}},
+            {"axes": {"policy": []}},
+            {"trace": {}},
+            {"trace": {"file": "x", "workload": "oltp"}},
+            {"trace_params": ["nope"]},
+            {"fixed": {"policy": "lru"}},  # collides with the policy axis
+            {"bogus_key": 1},
+        ],
+    )
+    def test_invalid_specs_rejected(self, broken):
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_dict(spec_dict(**broken))
+
+    def test_missing_file_and_bad_json(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign spec"):
+            CampaignSpec.from_file(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        with pytest.raises(CampaignError, match="not valid JSON"):
+            CampaignSpec.from_file(bad)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(CampaignError, match="unknown workload"):
+            generated_trace("tpc-z")
+
+    def test_run_campaign_returns_sweep(self):
+        sweep = run_campaign(CampaignSpec.from_dict(spec_dict()))
+        assert {p.params["policy"] for p in sweep.points} == {"lru", "fifo"}
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "campaign.json"
+    path.write_text(
+        json.dumps(
+            spec_dict(
+                axes={"policy": ["lru", "fifo"], "cache_blocks": [32, 64]}
+            )
+        )
+    )
+    return path
+
+
+class TestCampaignCLI:
+    def test_run_with_store_then_resume(self, spec_file, tmp_path, capsys):
+        cache = tmp_path / "store"
+        args = ["campaign", str(spec_file), "--workers", "2",
+                "--cache-dir", str(cache)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "4 grid points" in first
+        assert "cache hits       0 (0%)" in first
+
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "cache hits       4 (100%)" in second
+        assert "simulated        0" in second
+
+        journal = cache / "journal.jsonl"
+        records = journal_point_records(journal)
+        assert len(records) == 4
+        assert all(r["cache_hit"] for r in records)
+        summary = campaign_summary(journal)
+        assert summary["points"] == 4
+        assert summary["hit_rate"] == 1.0
+        assert summary["computed"] == 0
+        assert "campaign summary" in summary_table(journal)
+
+    def test_csv_and_json_export(self, spec_file, tmp_path, capsys):
+        out_csv = tmp_path / "out.csv"
+        out_json = tmp_path / "out.json"
+        assert main(
+            ["campaign", str(spec_file), "--csv", str(out_csv),
+             "--json", str(out_json)]
+        ) == 0
+        with open(out_csv) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 4
+        assert {r["policy"] for r in rows} == {"lru", "fifo"}
+        payload = json.loads(out_json.read_text())
+        assert len(payload) == 4
+        assert all("energy_j" in r for r in payload)
+
+    def test_resume_without_cache_dir_errors(self, spec_file, capsys):
+        assert main(["campaign", str(spec_file), "--resume"]) == 2
+        assert "--resume needs --cache-dir" in capsys.readouterr().err
+
+    def test_resume_with_missing_store_errors(self, spec_file, tmp_path, capsys):
+        assert main(
+            ["campaign", str(spec_file), "--resume",
+             "--cache-dir", str(tmp_path / "nope")]
+        ) == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_bad_spec_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"axes": {"policy": ["lru"]}}))
+        assert main(["campaign", str(bad)]) == 2
+        assert "missing 'trace'" in capsys.readouterr().err
+
+
+class TestJournalRecords:
+    def test_point_records_flatten_params(self, spec_file, tmp_path):
+        cache = tmp_path / "store"
+        main(["campaign", str(spec_file), "--cache-dir", str(cache)])
+        records = journal_point_records(cache / "journal.jsonl")
+        assert [r["index"] for r in records] == [0, 1, 2, 3]
+        assert {r["policy"] for r in records} == {"lru", "fifo"}
+        assert {r["cache_blocks"] for r in records} == {32, 64}
+        assert all(r["status"] == "ok" for r in records)

@@ -51,6 +51,26 @@ class TestGridSweep:
         )
         assert sweep.best("energy_j").params["dpm"] == "oracle"
 
+    def test_best_maximize(self, trace):
+        sweep = grid_sweep(
+            trace,
+            axes={"cache_blocks": [16, 256]},
+            num_disks=3,
+            cache_blocks=64,
+        )
+        assert sweep.best("hit_ratio", maximize=True).params[
+            "cache_blocks"
+        ] == 256
+        assert sweep.best("hit_ratio").params["cache_blocks"] == 16
+
+    def test_workers_knob_matches_serial(self, trace):
+        axes = {"policy": ["lru", "fifo"], "dpm": ["practical", "oracle"]}
+        serial = grid_sweep(trace, axes=axes, num_disks=3, cache_blocks=64)
+        parallel = grid_sweep(
+            trace, axes=axes, num_disks=3, cache_blocks=64, workers=2
+        )
+        assert parallel.records() == serial.records()
+
     def test_csv_export(self, trace, tmp_path):
         sweep = grid_sweep(
             trace, axes={"policy": ["lru", "clock"]},
