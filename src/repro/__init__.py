@@ -24,12 +24,20 @@ Quickstart::
 from repro.errors import (
     CampaignError,
     ConfigurationError,
+    InvariantViolation,
     PolicyError,
     PowerModelError,
     RecoveryError,
     ReproError,
     SimulationError,
     TraceError,
+)
+from repro.observe import (
+    EventBus,
+    InvariantChecker,
+    JSONLSink,
+    MetricsSink,
+    RingBufferSink,
 )
 from repro.power import (
     AlwaysOnDPM,
@@ -115,14 +123,19 @@ __all__ = [
     "DiskClassifier",
     "EnergyAccount",
     "EnergyEnvelope",
+    "EventBus",
     "FIFOPolicy",
     "IORequest",
     "IntervalHistogram",
+    "InvariantChecker",
+    "InvariantViolation",
+    "JSONLSink",
     "LIRSPolicy",
     "LRUPolicy",
     "LogDevice",
     "LogRegion",
     "MQPolicy",
+    "MetricsSink",
     "OLTPTraceConfig",
     "OPGPolicy",
     "OracleDPM",
@@ -137,6 +150,7 @@ __all__ = [
     "ReproError",
     "ResultStore",
     "RetryPolicy",
+    "RingBufferSink",
     "RunJournal",
     "SimulatedDisk",
     "SimulationConfig",

@@ -14,6 +14,7 @@ from repro.cache.block import BlockKey, BlockState, disk_of
 from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.stats import CacheStats
 from repro.errors import ConfigurationError, SimulationError
+from repro.observe.events import CacheHit, CacheMiss, Evict, Insert
 
 
 @dataclass
@@ -35,10 +36,16 @@ class StorageCache:
         policy: Replacement policy instance. Ignored for eviction when
             capacity is infinite, but still notified of accesses so
             policy-side statistics remain meaningful.
+        probe: Optional event hook (see :mod:`repro.observe`); receives
+            :class:`CacheHit` / :class:`CacheMiss` / :class:`Insert` /
+            :class:`Evict` events.
     """
 
     def __init__(
-        self, capacity_blocks: int | None, policy: ReplacementPolicy
+        self,
+        capacity_blocks: int | None,
+        policy: ReplacementPolicy,
+        probe=None,
     ) -> None:
         if capacity_blocks is not None and capacity_blocks < 1:
             raise ConfigurationError(
@@ -46,6 +53,7 @@ class StorageCache:
             )
         self.capacity = capacity_blocks
         self.policy = policy
+        self.probe = probe
         self.stats = CacheStats()
         self._blocks: dict[BlockKey, BlockState] = {}
         self._dirty_by_disk: dict[int, set[BlockKey]] = {}
@@ -85,6 +93,9 @@ class StorageCache:
         """
         hit = key in self._blocks
         self.stats.record_access(key, hit, is_write)
+        if self.probe is not None:
+            event_cls = CacheHit if hit else CacheMiss
+            self.probe(event_cls(time, key[0], key[1], is_write))
         self.policy.on_access(key, time, hit)
         if hit:
             state = self._blocks[key]
@@ -95,6 +106,8 @@ class StorageCache:
         evicted = self._make_room(time)
         self._blocks[key] = BlockState()
         self.policy.on_insert(key, time)
+        if self.probe is not None:
+            self.probe(Insert(time, key[0], key[1], len(self._blocks)))
         return AccessResult(hit=False, evicted=evicted)
 
     def admit(self, key: BlockKey, time: float) -> AccessResult:
@@ -110,6 +123,10 @@ class StorageCache:
         self._blocks[key] = BlockState(prefetched=True)
         self.policy.on_insert(key, time)
         self.stats.prefetch_admissions += 1
+        if self.probe is not None:
+            self.probe(
+                Insert(time, key[0], key[1], len(self._blocks), prefetched=True)
+            )
         return AccessResult(hit=False, evicted=evicted)
 
     def _make_room(self, time: float) -> list[tuple[BlockKey, BlockState]]:
@@ -149,6 +166,16 @@ class StorageCache:
             self.stats.evictions += 1
             if state.dirty:
                 self.stats.dirty_evictions += 1
+            if self.probe is not None:
+                self.probe(
+                    Evict(
+                        time,
+                        victim[0],
+                        victim[1],
+                        state.dirty or state.logged,
+                        len(self._blocks),
+                    )
+                )
             evicted.append((victim, state))
         return evicted
 

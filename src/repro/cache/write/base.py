@@ -25,6 +25,7 @@ from repro.cache.block import BlockKey, BlockState
 from repro.cache.cache import StorageCache
 from repro.disk.array import DiskArray
 from repro.errors import SimulationError
+from repro.observe.events import DirtyFlush
 
 
 class WritePolicy(ABC):
@@ -40,6 +41,13 @@ class WritePolicy(ABC):
         #: Callback (disk_id, time) invoked for every disk write, so
         #: power-aware replacement policies can track disk activity.
         self.activity_listener = None
+        #: Optional event hook (see :mod:`repro.observe`); emits a
+        #: :class:`DirtyFlush` for every physical home-disk write.
+        self.probe = None
+
+    def set_probe(self, probe) -> None:
+        """Wire the observability hook (subclasses may propagate it)."""
+        self.probe = probe
 
     def attach(
         self,
@@ -76,6 +84,8 @@ class WritePolicy(ABC):
         disk, block = key
         response = self.array.submit(disk, time, block, 1, is_write=True)
         self.disk_writes += 1
+        if self.probe is not None:
+            self.probe(DirtyFlush(time, disk, block))
         if self.activity_listener is not None:
             self.activity_listener(disk, time)
         return response.response_time_s

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.cache.block import BlockKey
 from repro.errors import ConfigurationError, RecoveryError
+from repro.observe.events import LogAppend, LogFlush
 
 
 @dataclass
@@ -93,6 +94,9 @@ class LogDevice:
         write_latency_s: Client-visible latency of one log append
             (sequential write on an active device — sub-millisecond).
         write_energy_j: Incremental energy charged per append.
+        probe: Optional event hook (see :mod:`repro.observe`); emits
+            :class:`LogAppend` / :class:`LogFlush` events when the
+            caller supplies timestamps.
     """
 
     def __init__(
@@ -101,6 +105,7 @@ class LogDevice:
         region_capacity_blocks: int = 4096,
         write_latency_s: float = 0.5e-3,
         write_energy_j: float = 13.5 * 0.5e-3,
+        probe=None,
     ) -> None:
         if num_disks < 1:
             raise ConfigurationError(f"num_disks must be >= 1, got {num_disks}")
@@ -109,21 +114,27 @@ class LogDevice:
         ]
         self.write_latency_s = write_latency_s
         self.write_energy_j = write_energy_j
+        self.probe = probe
         self.appends = 0
         self.energy_j = 0.0
 
-    def append(self, disk_id: int, key: BlockKey) -> float:
+    def append(self, disk_id: int, key: BlockKey, time: float = 0.0) -> float:
         """Log a write for ``disk_id``; returns client latency."""
         self.regions[disk_id].append(key)
         self.appends += 1
         self.energy_j += self.write_energy_j
+        if self.probe is not None:
+            self.probe(LogAppend(time, disk_id, key[1]))
         return self.write_latency_s
 
     def region_full(self, disk_id: int) -> bool:
         return self.regions[disk_id].is_full
 
-    def flush(self, disk_id: int) -> None:
+    def flush(self, disk_id: int, time: float = 0.0) -> None:
+        retired = self.regions[disk_id].used
         self.regions[disk_id].flush()
+        if self.probe is not None:
+            self.probe(LogFlush(time, disk_id, retired))
 
     def recover_all(self) -> dict[int, list[BlockKey]]:
         """Crash recovery across every region (disk_id -> replay set)."""

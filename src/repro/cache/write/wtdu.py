@@ -39,6 +39,11 @@ class WTDUPolicy(WritePolicy):
         self.deferred_writes = 0
         self.forced_flushes = 0
 
+    def set_probe(self, probe) -> None:
+        """Also wire the log device, so appends/flushes are traced."""
+        super().set_probe(probe)
+        self.log.probe = probe
+
     def _pinned_pressure(self) -> bool:
         """Logged (pinned) blocks approaching cache capacity?
 
@@ -67,7 +72,7 @@ class WTDUPolicy(WritePolicy):
                 self.forced_flushes += 1
                 self._flush_disk(disk_id, time)
                 return self._write_to_disk(key, time)
-            latency = self.log.append(disk_id, key)
+            latency = self.log.append(disk_id, key, time)
             self.cache.mark_logged(key)
             self.deferred_writes += 1
             return latency
@@ -86,7 +91,7 @@ class WTDUPolicy(WritePolicy):
         for key in self.cache.dirty_blocks(disk_id):
             self._write_to_disk(key, time)
             self.cache.mark_clean(key)
-        self.log.flush(disk_id)
+        self.log.flush(disk_id, time)
 
     def pending_dirty(self) -> int:
         self._require_attached()

@@ -83,11 +83,20 @@ def _build_parser() -> argparse.ArgumentParser:
             "--prefetch-depth", type=int, default=0,
             help="enable sequential wake prefetching (online policies)",
         )
+        p.add_argument(
+            "--trace-events", action="store_true",
+            help="stream structured events through a metrics sink and "
+            "report the counters (see repro.observe)",
+        )
 
     run = sub.add_parser("simulate", help="simulate one policy on a trace")
     add_run_args(run)
     run.add_argument(
         "-p", "--policy", choices=POLICY_NAMES, default="lru",
+    )
+    run.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help="write every simulation event as JSONL to PATH",
     )
 
     cmp_ = sub.add_parser(
@@ -142,6 +151,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     camp.add_argument("--csv", default=None, help="export records as CSV")
     camp.add_argument("--json", default=None, help="export records as JSON")
+    camp.add_argument(
+        "--trace-events", action="store_true",
+        help="attach a metrics sink to every grid point; counters appear "
+        "as trace_metrics in each record",
+    )
     return parser
 
 
@@ -227,8 +241,21 @@ def _cmd_simulate(args) -> int:
         dpm=args.dpm,
         write_policy=args.write_policy,
         prefetch_depth=args.prefetch_depth,
+        trace_events=args.trace_events,
+        trace_file=args.trace_file,
     )
     print(result.summary())
+    if result.trace_metrics is not None:
+        m = result.trace_metrics
+        total_events = sum(m["events"].values())
+        print(
+            f"  trace: {total_events:,} events "
+            f"({len(m['events'])} kinds); "
+            f"streamed energy={m['total_energy_j'] / 1e3:.1f} kJ; "
+            f"spinups={m['spinups']} spindowns={m['spindowns']}"
+        )
+    if args.trace_file is not None:
+        print(f"  wrote event trace to {args.trace_file}")
     return 0
 
 
@@ -245,6 +272,7 @@ def _cmd_compare(args) -> int:
             dpm=args.dpm,
             write_policy=args.write_policy,
             prefetch_depth=args.prefetch_depth,
+            trace_events=args.trace_events,
         )
     base = results[policies[0]]
     rows = [
@@ -336,6 +364,8 @@ def _cmd_campaign(args) -> int:
     from repro.errors import CampaignError
 
     spec = CampaignSpec.from_file(args.spec)
+    if args.trace_events and "trace_events" not in spec.axes:
+        spec.fixed["trace_events"] = True
 
     store = None
     if args.resume and args.cache_dir is None:

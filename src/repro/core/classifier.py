@@ -25,6 +25,7 @@ from enum import Enum
 from repro.core.bloom import BloomFilter
 from repro.core.histogram import IntervalHistogram
 from repro.errors import ConfigurationError
+from repro.observe.events import DiskReclassified, EpochRollover
 from repro.units import MINUTE
 
 
@@ -83,6 +84,9 @@ class DiskClassifier:
         self._classes = [DiskClass.REGULAR] * num_disks
         self._epoch_end: float | None = None
         self.epochs_completed = 0
+        #: Optional event hook (see :mod:`repro.observe`); emits
+        #: :class:`EpochRollover` / :class:`DiskReclassified` events.
+        self.probe = None
 
     # -- feeding ------------------------------------------------------------
 
@@ -113,12 +117,13 @@ class DiskClassifier:
             self._epoch_end = time + self.epoch_length_s
             return
         while time >= self._epoch_end:
-            self._reclassify()
+            self._reclassify(time, self._epoch_end)
             self._epoch_end += self.epoch_length_s
 
     # -- classification -----------------------------------------------------------
 
-    def _reclassify(self) -> None:
+    def _reclassify(self, time: float = 0.0, boundary_s: float = 0.0) -> None:
+        old_classes = list(self._classes) if self.probe is not None else None
         for disk_id, stats in enumerate(self._stats):
             if stats.misses == 0:
                 # An untouched disk is trivially parkable: priority.
@@ -136,6 +141,19 @@ class DiskClassifier:
             stats.cold_misses = 0
             stats.histogram.reset()
         self.epochs_completed += 1
+        if self.probe is not None:
+            # Rollover is observed lazily at the first access past the
+            # boundary, so the event's time is the observation time (to
+            # keep the stream monotone); the nominal boundary rides in
+            # ``boundary_s``.
+            self.probe(EpochRollover(time, boundary_s, self.epochs_completed))
+            for disk_id, (old, new) in enumerate(
+                zip(old_classes, self._classes)
+            ):
+                if old != new:
+                    self.probe(
+                        DiskReclassified(time, disk_id, old.name, new.name)
+                    )
 
     def classify(self, disk_id: int) -> DiskClass:
         """Current class of ``disk_id`` (as of the last epoch boundary)."""

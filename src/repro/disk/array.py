@@ -45,6 +45,7 @@ class DiskArray:
         block_size: int = DEFAULT_BLOCK_SIZE,
         start_time: float = 0.0,
         disk_cls: type[SimulatedDisk] = SimulatedDisk,
+        probe=None,
     ) -> None:
         if num_disks < 1:
             raise ConfigurationError(f"num_disks must be >= 1, got {num_disks}")
@@ -59,6 +60,7 @@ class DiskArray:
                 dpm=dpm_factory(self.power_model),
                 block_size=block_size,
                 start_time=start_time,
+                probe=probe,
             )
             for i in range(num_disks)
         ]

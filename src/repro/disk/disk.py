@@ -15,8 +15,15 @@ from repro.disk.geometry import DiskGeometry
 from repro.disk.seek import SeekModel
 from repro.disk.timing import ServiceBreakdown, ServiceTimeModel
 from repro.errors import SimulationError
+from repro.observe.events import (
+    DiskFinalized,
+    DiskService,
+    DiskSpinDown,
+    DiskSpinUp,
+    StateDwell,
+)
 from repro.power.accounting import EnergyAccount
-from repro.power.dpm import DiskPowerManager
+from repro.power.dpm import DiskPowerManager, IdleOutcome
 from repro.power.modes import PowerModel
 from repro.power.specs import DiskSpec
 from repro.units import DEFAULT_BLOCK_SIZE, TIME_EPS
@@ -56,6 +63,11 @@ class SimulatedDisk:
         block_size: Logical block size in bytes.
         start_time: Simulation epoch; the disk is idle at full speed at
             this instant.
+        probe: Optional event hook (see :mod:`repro.observe`); receives
+            :class:`StateDwell` / :class:`DiskSpinDown` /
+            :class:`DiskSpinUp` / :class:`DiskService` /
+            :class:`DiskFinalized` events carrying exactly the joules
+            recorded in the :class:`EnergyAccount`.
     """
 
     def __init__(
@@ -66,11 +78,13 @@ class SimulatedDisk:
         dpm: DiskPowerManager,
         block_size: int = DEFAULT_BLOCK_SIZE,
         start_time: float = 0.0,
+        probe=None,
     ) -> None:
         self.disk_id = disk_id
         self.spec = spec
         self.power_model = power_model
         self.dpm = dpm
+        self.probe = probe
         self.geometry = DiskGeometry(
             capacity_bytes=spec.capacity_bytes,
             block_size=block_size,
@@ -147,6 +161,8 @@ class SimulatedDisk:
         if arrival > self._busy_until + TIME_EPS:
             outcome = self.dpm.process_idle(arrival - self._busy_until, wake=True)
             self.account.add_idle(outcome)
+            if self.probe is not None:
+                self._publish_idle(arrival, outcome)
             wake_delay = outcome.wake_delay_s
             effective = arrival
         else:
@@ -165,6 +181,18 @@ class SimulatedDisk:
         self.account.add_service(breakdown.total_s, energy)
         finish = start_service + breakdown.total_s
         self._busy_until = finish
+        if self.probe is not None:
+            self.probe(
+                DiskService(
+                    arrival,
+                    self.disk_id,
+                    start_service,
+                    breakdown.total_s,
+                    energy,
+                    is_write,
+                    nblocks,
+                )
+            )
         return DiskResponse(
             arrival=arrival,
             start_service=start_service,
@@ -186,5 +214,48 @@ class SimulatedDisk:
                 end_time - self._busy_until, wake=False
             )
             self.account.add_idle(outcome)
+            if self.probe is not None:
+                self._publish_idle(end_time, outcome)
             self._busy_until = end_time
         self._finalized = True
+        if self.probe is not None:
+            self.probe(
+                DiskFinalized(end_time, self.disk_id, self.account.total_energy_j)
+            )
+
+    def _publish_idle(self, time: float, outcome: IdleOutcome) -> None:
+        """Emit one idle gap's reconstruction as events.
+
+        Residency energy is attributed per mode with exactly the
+        proportional split :meth:`EnergyAccount.add_idle` applies, so
+        summing event energies reproduces the ledger.
+        """
+        probe = self.probe
+        residency_energy = outcome.energy_j - outcome.transition_energy_j
+        total_res = sum(outcome.mode_residency_s.values())
+        for mode, seconds in outcome.mode_residency_s.items():
+            share = (
+                residency_energy * (seconds / total_res)
+                if total_res > 0
+                else 0.0
+            )
+            probe(StateDwell(time, self.disk_id, mode, seconds, share))
+        if outcome.spindowns:
+            probe(
+                DiskSpinDown(
+                    time,
+                    self.disk_id,
+                    outcome.spindowns,
+                    outcome.transition_time_s,
+                    outcome.transition_energy_j,
+                )
+            )
+        if outcome.spinups:
+            probe(
+                DiskSpinUp(
+                    time,
+                    self.disk_id,
+                    outcome.wake_delay_s,
+                    outcome.wake_energy_j,
+                )
+            )

@@ -31,6 +31,12 @@ from __future__ import annotations
 from repro.disk.disk import DiskResponse, SimulatedDisk
 from repro.disk.timing import ServiceBreakdown
 from repro.errors import ConfigurationError, SimulationError
+from repro.observe.events import (
+    DiskFinalized,
+    DiskService,
+    DiskSpinUp,
+    SpeedChange,
+)
 from repro.power.dpm import PracticalDPM
 from repro.power.modes import PowerModel
 from repro.power.specs import DiskSpec
@@ -56,6 +62,7 @@ class AllSpeedServiceDisk(SimulatedDisk):
         block_size: int = DEFAULT_BLOCK_SIZE,
         start_time: float = 0.0,
         ramp_up_gap_s: float | None = None,
+        probe=None,
     ) -> None:
         if not isinstance(dpm, PracticalDPM):
             raise ConfigurationError(
@@ -64,7 +71,7 @@ class AllSpeedServiceDisk(SimulatedDisk):
             )
         super().__init__(
             disk_id, spec, power_model, dpm,
-            block_size=block_size, start_time=start_time,
+            block_size=block_size, start_time=start_time, probe=probe,
         )
         if ramp_up_gap_s is None:
             from repro.power.envelope import EnergyEnvelope
@@ -97,6 +104,7 @@ class AllSpeedServiceDisk(SimulatedDisk):
         wake_delay = 0.0
         if arrival > self._busy_until + TIME_EPS:
             gap = arrival - self._busy_until
+            mode_before_gap = self._mode
             # the gap continues the descent from the current speed; no
             # automatic spin-up is charged — we only spin up if stopped
             outcome = self.dpm.process_idle_from(self._mode, gap, wake=False)
@@ -110,6 +118,14 @@ class AllSpeedServiceDisk(SimulatedDisk):
                 outcome.spinups += 1
                 self._mode = 0
             self.account.add_idle(outcome)
+            if self.probe is not None:
+                self._publish_idle(arrival, outcome)
+                if self._mode != mode_before_gap:
+                    self.probe(
+                        SpeedChange(
+                            arrival, self.disk_id, mode_before_gap, self._mode
+                        )
+                    )
             wake_delay = outcome.wake_delay_s
             effective = arrival
         else:
@@ -141,6 +157,18 @@ class AllSpeedServiceDisk(SimulatedDisk):
         self.account.add_service(breakdown.total_s, energy)
         finish = start_service + breakdown.total_s
         self._busy_until = finish
+        if self.probe is not None:
+            self.probe(
+                DiskService(
+                    arrival,
+                    self.disk_id,
+                    start_service,
+                    breakdown.total_s,
+                    energy,
+                    is_write,
+                    nblocks,
+                )
+            )
 
         if burst and self._mode != 0:
             # DRPM ramps back to full speed under load; the transition
@@ -149,6 +177,11 @@ class AllSpeedServiceDisk(SimulatedDisk):
             self.account.transition_energy_j += mode.spinup_energy_j
             self.account.spinups += 1
             self.ramp_ups += 1
+            if self.probe is not None:
+                self.probe(
+                    DiskSpinUp(arrival, self.disk_id, 0.0, mode.spinup_energy_j)
+                )
+                self.probe(SpeedChange(arrival, self.disk_id, self._mode, 0))
             self._mode = 0
         return DiskResponse(
             arrival=arrival,
@@ -166,5 +199,11 @@ class AllSpeedServiceDisk(SimulatedDisk):
                 self._mode, end_time - self._busy_until, wake=False
             )
             self.account.add_idle(outcome)
+            if self.probe is not None:
+                self._publish_idle(end_time, outcome)
             self._busy_until = end_time
         self._finalized = True
+        if self.probe is not None:
+            self.probe(
+                DiskFinalized(end_time, self.disk_id, self.account.total_energy_j)
+            )

@@ -52,6 +52,18 @@ class RecoveryError(ReproError):
     """Crash recovery of a WTDU log region found corrupt state."""
 
 
+class InvariantViolation(ReproError):
+    """The event stream violated a runtime simulation invariant.
+
+    Raised by :class:`repro.observe.InvariantChecker` while events
+    stream — e.g. cache occupancy exceeding capacity, a disk serving
+    I/O while spun down, negative dwell times, timestamps moving
+    backwards, or energy ledgers that do not balance. The message
+    includes the offending event and a window of the events that
+    preceded it.
+    """
+
+
 class CampaignError(ReproError):
     """An experiment campaign could not be executed or completed.
 

@@ -1,0 +1,95 @@
+"""The structured event bus.
+
+Publishers (engine, cache, write policies, disks, classifier) hold a
+nullable ``probe`` — any callable taking one
+:class:`~repro.observe.events.Event`. With ``probe=None`` (the
+default) every emit site is a single attribute test, so an
+uninstrumented simulation pays near-zero overhead.
+
+:class:`EventBus` is the standard probe implementation: a callable that
+fans each event out to its attached sinks in attachment order. Sinks
+are anything with a ``handle(event)`` method (see
+:class:`EventSink`); order matters when a sink raises — the
+:class:`~repro.observe.invariants.InvariantChecker` is usually attached
+last so recording sinks capture the offending event first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.observe.events import Event
+
+
+class EventSink:
+    """Base class for event consumers.
+
+    Subclasses override :meth:`handle`; :meth:`close` is called when
+    the owning bus is closed (flush files, release resources).
+    """
+
+    def handle(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (default: nothing to do)."""
+
+
+class _CallableSink(EventSink):
+    """Adapter wrapping a bare callable (e.g. another bus) as a sink."""
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+
+    def handle(self, event: Event) -> None:
+        self.fn(event)
+
+
+class EventBus:
+    """Fan-out dispatcher from publishers to sinks.
+
+    Usage::
+
+        bus = EventBus()
+        ring = bus.attach(RingBufferSink())
+        bus.attach(InvariantChecker())
+        result = run_simulation(trace, "lru", ..., probe=bus)
+    """
+
+    __slots__ = ("_sinks",)
+
+    def __init__(self, *sinks: EventSink) -> None:
+        self._sinks: list[EventSink] = [
+            s if hasattr(s, "handle") else _CallableSink(s) for s in sinks
+        ]
+
+    def attach(self, sink) -> EventSink:
+        """Add a sink (bare callables are adapted); returns it."""
+        if not hasattr(sink, "handle"):
+            sink = _CallableSink(sink)
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink: EventSink) -> None:
+        self._sinks.remove(sink)
+
+    def __call__(self, event: Event) -> None:
+        for sink in self._sinks:
+            sink.handle(event)
+
+    def __iter__(self) -> Iterator[EventSink]:
+        return iter(self._sinks)
+
+    def __len__(self) -> int:
+        return len(self._sinks)
+
+    def close(self) -> None:
+        """Close every sink (files flushed, buffers sealed)."""
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self) -> "EventBus":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

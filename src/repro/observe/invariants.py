@@ -1,0 +1,253 @@
+"""Runtime invariant checking over the event stream.
+
+:class:`InvariantChecker` is an :class:`~repro.observe.bus.EventSink`
+that validates cross-layer simulation invariants *as events stream*,
+so a logic bug surfaces at the first event that breaks the rules —
+with the offending event window — instead of as a silently-shifted
+end-of-run aggregate. The enforced invariants:
+
+1. **Monotonic time** — event timestamps never decrease (within
+   ``TIME_EPS``); the engine is trace-driven and time-ordered.
+2. **Occupancy** — the cache never holds more blocks than its
+   capacity, and the occupancy reported by ``Insert``/``Evict`` events
+   always matches an independent count of inserts minus evictions.
+3. **Non-negative physics** — dwell durations, service times, delays,
+   and energies are never negative.
+4. **No service while spun down** — a ``full-speed-only`` disk only
+   services requests at mode 0 (the paper's design: a parked disk must
+   spin up first); an ``all-speed`` disk may service at reduced speed
+   but never from standby (spindle stopped).
+5. **Energy balance** — at ``DiskFinalized``, the per-disk energy
+   summed over streamed events (dwell + transitions + service) equals
+   the :class:`~repro.power.accounting.EnergyAccount` total the disk
+   reports, to a relative tolerance.
+6. **Log-region discipline** — every WTDU ``LogAppend`` entry is
+   written home (``DirtyFlush``) exactly once before its region's
+   ``LogFlush`` retires the epoch: nothing is lost, nothing survives.
+
+Violations raise :class:`~repro.errors.InvariantViolation`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.errors import InvariantViolation
+from repro.observe.bus import EventSink
+from repro.observe.events import (
+    CacheMiss,
+    DirtyFlush,
+    DiskFinalized,
+    DiskService,
+    DiskSpinDown,
+    DiskSpinUp,
+    Event,
+    Evict,
+    Insert,
+    LogAppend,
+    LogFlush,
+    RequestComplete,
+    SimulationStart,
+    SpeedChange,
+    StateDwell,
+)
+
+#: Timestamp slack — mirrors the engine's arrival-order tolerance.
+TIME_EPS = 1e-9
+
+
+class InvariantChecker(EventSink):
+    """Validates the invariant catalogue above, event by event.
+
+    Args:
+        window: How many trailing events to keep for diagnostics; the
+            window is included in every violation message.
+        energy_rtol: Relative tolerance of the ledger-balance check.
+        check_energy_balance: Disable to use the checker on synthetic
+            or partial streams that never emit ``DiskFinalized``
+            companions for every energy event.
+    """
+
+    def __init__(
+        self,
+        window: int = 12,
+        energy_rtol: float = 1e-6,
+        check_energy_balance: bool = True,
+    ) -> None:
+        self._window: deque[Event] = deque(maxlen=window)
+        self.energy_rtol = energy_rtol
+        self.check_energy_balance = check_energy_balance
+        self.events_checked = 0
+        self.violations = 0
+        self._last_time = -math.inf
+        self._occupancy = 0
+        self._capacity: int | None = None
+        self._design = "full-speed-only"
+        self._num_modes: int | None = None
+        #: Current rotational mode per disk (0 = full speed / active).
+        self._disk_mode: dict[int, int] = {}
+        #: Outstanding logged-but-not-written-home keys per disk.
+        self._log_outstanding: dict[int, set[int]] = {}
+        self._disk_energy: dict[int, float] = {}
+        self._finalized: set[int] = set()
+
+    # -- failure path ----------------------------------------------------
+
+    def _fail(self, event: Event, message: str) -> None:
+        self.violations += 1
+        trail = "\n".join(f"    {e!r}" for e in self._window)
+        raise InvariantViolation(
+            f"{message}\n  offending event: {event!r}\n"
+            f"  preceding window ({len(self._window)} events):\n{trail}"
+        )
+
+    def _charge(self, event: Event, disk: int, energy_j: float) -> None:
+        if energy_j < 0:
+            self._fail(event, f"negative energy {energy_j} J on disk {disk}")
+        self._disk_energy[disk] = self._disk_energy.get(disk, 0.0) + energy_j
+
+    # -- the stream ------------------------------------------------------
+
+    def handle(self, event: Event) -> None:
+        self.events_checked += 1
+        if event.time < self._last_time - TIME_EPS:
+            self._fail(
+                event,
+                f"timestamps moved backwards: {event.time} after "
+                f"{self._last_time}",
+            )
+        self._last_time = max(self._last_time, event.time)
+
+        if isinstance(event, SimulationStart):
+            self._capacity = event.cache_capacity
+            self._design = event.disk_design
+            self._num_modes = event.num_modes or None
+        elif isinstance(event, Insert):
+            self._occupancy += 1
+            if event.occupancy != self._occupancy:
+                self._fail(
+                    event,
+                    f"occupancy mismatch: event reports {event.occupancy}, "
+                    f"insert/evict ledger says {self._occupancy}",
+                )
+            if self._capacity is not None and event.occupancy > self._capacity:
+                self._fail(
+                    event,
+                    f"cache occupancy {event.occupancy} exceeds capacity "
+                    f"{self._capacity}",
+                )
+        elif isinstance(event, Evict):
+            self._occupancy -= 1
+            if event.occupancy != self._occupancy:
+                self._fail(
+                    event,
+                    f"occupancy mismatch: event reports {event.occupancy}, "
+                    f"insert/evict ledger says {self._occupancy}",
+                )
+            if event.occupancy < 0:
+                self._fail(event, "eviction from an empty cache")
+        elif isinstance(event, StateDwell):
+            if event.seconds < 0:
+                self._fail(
+                    event,
+                    f"negative dwell of {event.seconds} s in mode "
+                    f"{event.mode} on disk {event.disk}",
+                )
+            self._charge(event, event.disk, event.energy_j)
+            self._disk_mode[event.disk] = event.mode
+        elif isinstance(event, DiskSpinDown):
+            if event.duration_s < 0:
+                self._fail(event, f"negative transition {event.duration_s} s")
+            self._charge(event, event.disk, event.energy_j)
+        elif isinstance(event, DiskSpinUp):
+            if event.delay_s < 0:
+                self._fail(event, f"negative wake delay {event.delay_s} s")
+            self._charge(event, event.disk, event.energy_j)
+            self._disk_mode[event.disk] = 0
+        elif isinstance(event, SpeedChange):
+            self._disk_mode[event.disk] = event.new_mode
+        elif isinstance(event, DiskService):
+            if event.seconds < 0:
+                self._fail(event, f"negative service time {event.seconds} s")
+            self._charge(event, event.disk, event.energy_j)
+            mode = self._disk_mode.get(event.disk, 0)
+            if event.disk in self._finalized:
+                self._fail(
+                    event, f"disk {event.disk} serviced I/O after finalize"
+                )
+            if self._design == "full-speed-only" and mode != 0:
+                self._fail(
+                    event,
+                    f"disk {event.disk} serviced I/O while in power mode "
+                    f"{mode} (full-speed-only disks must spin up first)",
+                )
+            if (
+                self._design == "all-speed"
+                and self._num_modes is not None
+                and mode == self._num_modes - 1
+            ):
+                self._fail(
+                    event,
+                    f"disk {event.disk} serviced I/O from standby "
+                    "(spindle stopped — even all-speed disks must spin "
+                    "up first)",
+                )
+        elif isinstance(event, DiskFinalized):
+            if event.disk in self._finalized:
+                self._fail(event, f"disk {event.disk} finalized twice")
+            self._finalized.add(event.disk)
+            if self.check_energy_balance:
+                streamed = self._disk_energy.get(event.disk, 0.0)
+                if not math.isclose(
+                    streamed,
+                    event.account_energy_j,
+                    rel_tol=self.energy_rtol,
+                    abs_tol=1e-9,
+                ):
+                    self._fail(
+                        event,
+                        f"disk {event.disk} energy ledger does not balance: "
+                        f"events sum to {streamed!r} J but the account "
+                        f"reports {event.account_energy_j!r} J",
+                    )
+        elif isinstance(event, LogAppend):
+            self._log_outstanding.setdefault(event.disk, set()).add(
+                event.block
+            )
+        elif isinstance(event, DirtyFlush):
+            pending = self._log_outstanding.get(event.disk)
+            if pending is not None:
+                pending.discard(event.block)
+        elif isinstance(event, LogFlush):
+            pending = self._log_outstanding.get(event.disk, set())
+            if pending:
+                self._fail(
+                    event,
+                    f"log flush on disk {event.disk} would discard "
+                    f"{len(pending)} logged block(s) never written home: "
+                    f"{sorted(pending)[:8]}",
+                )
+        elif isinstance(event, (CacheMiss, RequestComplete)):
+            if isinstance(event, RequestComplete) and event.latency_s < 0:
+                self._fail(event, f"negative latency {event.latency_s} s")
+
+        self._window.append(event)
+
+    # -- end-of-run ------------------------------------------------------
+
+    def finish(self) -> None:
+        """Optional end-of-stream check: no logged data left behind."""
+        for disk, pending in self._log_outstanding.items():
+            if pending:
+                last = self._window[-1] if self._window else None
+                self._fail(
+                    last,
+                    f"end of run with {len(pending)} logged block(s) on "
+                    f"disk {disk} never written home",
+                )
+
+    def close(self) -> None:
+        # Do not auto-run finish(): pending logged blocks at trace end
+        # are legal (the engine reports them as pending_dirty).
+        pass

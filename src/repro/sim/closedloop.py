@@ -131,6 +131,7 @@ class ClosedLoopSimulator:
         write_policy: WritePolicy | None = None,
         seed: int = 0,
         label: str = "closed-loop",
+        probe=None,
     ) -> None:
         if isinstance(policy, OfflinePolicy):
             raise ConfigurationError(
@@ -147,6 +148,7 @@ class ClosedLoopSimulator:
             policy=policy,
             write_policy=write_policy,
             label=label,
+            probe=probe,
         )
         self.workload = workload
         self.num_clients = num_clients

@@ -29,6 +29,7 @@ from repro.disk.array import DiskArray
 from repro.disk.disk import SimulatedDisk
 from repro.disk.multispeed import AllSpeedServiceDisk
 from repro.errors import ConfigurationError, TraceError
+from repro.observe.events import RequestComplete, SimulationStart
 from repro.power.specs import build_power_model
 from repro.sim.config import SimulationConfig
 from repro.sim.results import DiskReport, ResponseStats, SimulationResult
@@ -47,6 +48,10 @@ class StorageSimulator:
             configuration for a large non-volatile storage cache, and
             the paper's setting for the replacement study).
         label: Report label; defaults to the policy names.
+        probe: Optional event hook — any callable taking one
+            :class:`~repro.observe.events.Event` (usually an
+            :class:`~repro.observe.bus.EventBus`). ``None`` (default)
+            disables tracing at near-zero cost.
     """
 
     def __init__(
@@ -57,10 +62,12 @@ class StorageSimulator:
         write_policy: WritePolicy | None = None,
         prefetcher: Prefetcher | None = None,
         label: str | None = None,
+        probe=None,
     ) -> None:
         self.trace = trace
         self.config = config
         self.policy = policy
+        self.probe = probe
         self.write_policy = write_policy or WriteBackPolicy()
         if prefetcher is not None and isinstance(policy, OfflinePolicy):
             raise ConfigurationError(
@@ -82,11 +89,18 @@ class StorageSimulator:
             power_model=self.power_model,
             block_size=config.block_size,
             disk_cls=disk_cls,
+            probe=probe,
         )
-        self.cache = StorageCache(config.cache_capacity_blocks, policy)
+        self.cache = StorageCache(
+            config.cache_capacity_blocks, policy, probe=probe
+        )
         self.write_policy.attach(
             self.cache, self.array, activity_listener=policy.note_disk_activity
         )
+        self.write_policy.set_probe(probe)
+        classifier = getattr(policy, "classifier", None)
+        if classifier is not None:
+            classifier.probe = probe
         self._responses: list[float] = []
         self._disk_reads = 0
         self._ran = False
@@ -98,6 +112,18 @@ class StorageSimulator:
         self._ran = True
         if isinstance(self.policy, OfflinePolicy):
             self.policy.prepare(expand_accesses(self.trace))
+        if self.probe is not None:
+            start = self.trace[0].time if len(self.trace) else 0.0
+            self.probe(
+                SimulationStart(
+                    start,
+                    self.config.num_disks,
+                    self.config.cache_capacity_blocks,
+                    self.config.disk_design,
+                    self.label,
+                    num_modes=len(self.power_model),
+                )
+            )
 
         previous_time = -1.0
         last_time = 0.0
@@ -147,6 +173,12 @@ class StorageSimulator:
             if latency > worst:
                 worst = latency
         self._responses.append(worst)
+        if self.probe is not None:
+            self.probe(
+                RequestComplete(
+                    req.time, req.disk, worst, req.is_write, req.nblocks
+                )
+            )
         return worst
 
     def finish(self, end_time: float) -> SimulationResult:

@@ -104,6 +104,9 @@ class SimulationResult:
     pending_dirty: int
     prefetch_admissions: int = 0
     prefetch_hits: int = 0
+    #: Counters snapshot from a :class:`~repro.observe.sinks.MetricsSink`
+    #: when the run was traced (``--trace-events``); ``None`` otherwise.
+    trace_metrics: dict | None = None
 
     @property
     def prefetch_accuracy(self) -> float:
@@ -153,6 +156,7 @@ class SimulationResult:
         kwargs = dict(data)
         kwargs["disks"] = [DiskReport.from_dict(d) for d in data["disks"]]
         kwargs["response"] = ResponseStats.from_dict(data["response"])
+        kwargs.setdefault("trace_metrics", None)
         return cls(**kwargs)
 
     def summary(self) -> str:

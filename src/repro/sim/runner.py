@@ -7,6 +7,9 @@ it, and returns the :class:`~repro.sim.results.SimulationResult`.
 
 from __future__ import annotations
 
+import dataclasses
+import os
+from pathlib import Path
 from typing import Sequence
 
 from repro.cache.policies import (
@@ -33,6 +36,9 @@ from repro.core.opg import OPGPolicy
 from repro.core.pa import PowerAwarePolicy, make_pa_lru
 from repro.core.prefetch import SequentialWakePrefetcher
 from repro.errors import ConfigurationError
+from repro.observe.bus import EventBus
+from repro.observe.invariants import InvariantChecker
+from repro.observe.sinks import JSONLSink, MetricsSink
 from repro.power.envelope import EnergyEnvelope
 from repro.power.specs import build_power_model
 from repro.sim.config import SimulationConfig
@@ -177,6 +183,9 @@ def run_simulation(
     prefetch_depth: int = 0,
     label: str | None = None,
     config: SimulationConfig | None = None,
+    probe=None,
+    trace_events: bool = False,
+    trace_file: str | Path | None = None,
 ) -> SimulationResult:
     """Run one experiment end-to-end.
 
@@ -191,6 +200,16 @@ def run_simulation(
         prefetch_depth: > 0 enables the power-aware sequential
             prefetcher riding paid-for spin-ups (online policies only).
         config: Full configuration override.
+        probe: Extra event hook (callable or sink) subscribed to the
+            run's event stream.
+        trace_events: Attach a :class:`MetricsSink` and surface its
+            snapshot as ``result.trace_metrics``.
+        trace_file: Write every event as JSONL to this path.
+
+    Setting ``REPRO_CHECK_INVARIANTS=1`` in the environment attaches an
+    :class:`~repro.observe.invariants.InvariantChecker` to every run
+    (used by CI), raising
+    :class:`~repro.errors.InvariantViolation` on any breach.
     """
     if policy.lower() == "infinite":
         cache_blocks = None
@@ -220,6 +239,24 @@ def run_simulation(
         if prefetch_depth > 0
         else None
     )
+    check_invariants = os.environ.get("REPRO_CHECK_INVARIANTS", "") not in (
+        "",
+        "0",
+    )
+    metrics: MetricsSink | None = None
+    effective_probe = probe
+    bus: EventBus | None = None
+    if trace_events or trace_file is not None or check_invariants:
+        bus = EventBus()
+        if trace_events:
+            metrics = bus.attach(MetricsSink())
+        if trace_file is not None:
+            bus.attach(JSONLSink(trace_file))
+        if check_invariants:
+            bus.attach(InvariantChecker())
+        if probe is not None:
+            bus.attach(probe)
+        effective_probe = bus
     simulator = StorageSimulator(
         trace,
         config,
@@ -227,5 +264,13 @@ def run_simulation(
         write_policy=writer,
         prefetcher=prefetcher,
         label=label or ("infinite" if cache_blocks is None else policy),
+        probe=effective_probe,
     )
-    return simulator.run()
+    try:
+        result = simulator.run()
+    finally:
+        if bus is not None:
+            bus.close()
+    if metrics is not None:
+        result = dataclasses.replace(result, trace_metrics=metrics.as_dict())
+    return result

@@ -1,0 +1,38 @@
+"""Regenerate the golden regression fixture.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tests/integration/regen_golden.py
+
+Overwrites ``tests/integration/fixtures/golden.json`` with freshly
+computed numbers for every configuration in
+:data:`tests.integration.golden_spec.GOLDEN_RUNS`. Only do this after
+an *intentional* behavior change, and review the numeric diff — the
+whole point of the fixture is that silent drift fails the test suite.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from golden_spec import FIXTURE_PATH, GOLDEN_RUNS, run_golden  # noqa: E402
+
+
+def main() -> int:
+    snapshot = {name: run_golden(name) for name in GOLDEN_RUNS}
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    for name, data in snapshot.items():
+        print(
+            f"{name}: energy={data['total_energy_j']:.3f} J "
+            f"mean response={data['mean_response_s'] * 1e3:.3f} ms "
+            f"hits={data['cache_hits']}"
+        )
+    print(f"wrote {FIXTURE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Golden regression tests: pinned numbers for three seeded configs.
+
+The fixture (``fixtures/golden.json``) pins energy, response-time, and
+cache-statistics numbers for LRU, PA-LRU, and OPG(θ=0) on a small
+seeded synthetic trace. These tests re-run each configuration and
+require agreement — integers exactly, floats to 1e-9 relative (the
+simulator is deterministic; the tolerance only absorbs cross-platform
+libm noise).
+
+If a test fails because you *intentionally* changed simulator behavior,
+regenerate with::
+
+    PYTHONPATH=src python tests/integration/regen_golden.py
+
+and explain the numeric shift in the commit message. Never regenerate
+to silence a failure you can't explain.
+"""
+
+import json
+
+import pytest
+
+from tests.integration.golden_spec import FIXTURE_PATH, GOLDEN_RUNS, run_golden
+
+INT_KEYS = (
+    "cache_hits",
+    "cache_misses",
+    "evictions",
+    "disk_reads",
+    "disk_writes",
+    "spinups",
+    "spindowns",
+)
+FLOAT_KEYS = (
+    "total_energy_j",
+    "disk_energy_j",
+    "mean_response_s",
+    "p95_response_s",
+    "max_response_s",
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert FIXTURE_PATH.exists(), (
+        f"missing golden fixture {FIXTURE_PATH}; generate it with "
+        "PYTHONPATH=src python tests/integration/regen_golden.py"
+    )
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_RUNS))
+def test_golden_numbers_are_stable(name, golden):
+    assert name in golden, f"fixture lacks {name!r}; regenerate it"
+    expected = golden[name]
+    actual = run_golden(name)
+    for key in INT_KEYS:
+        assert actual[key] == expected[key], (
+            f"{name}: {key} drifted from {expected[key]} to {actual[key]}"
+        )
+    for key in FLOAT_KEYS:
+        assert actual[key] == pytest.approx(
+            expected[key], rel=1e-9, abs=1e-12
+        ), f"{name}: {key} drifted from {expected[key]} to {actual[key]}"
+    assert actual["per_disk_energy_j"].keys() == (
+        expected["per_disk_energy_j"].keys()
+    )
+    for disk, energy in expected["per_disk_energy_j"].items():
+        assert actual["per_disk_energy_j"][disk] == pytest.approx(
+            energy, rel=1e-9
+        ), f"{name}: disk {disk} energy drifted"
+    assert actual["event_counts"] == expected["event_counts"], (
+        f"{name}: the event stream changed shape"
+    )
+
+
+def test_golden_runs_differ_from_each_other(golden):
+    """Sanity: the three configs pin genuinely different behavior."""
+    energies = {n: golden[n]["total_energy_j"] for n in GOLDEN_RUNS}
+    assert len(set(energies.values())) == len(energies), energies

@@ -1,0 +1,268 @@
+"""Mutation smoke tests: every invariant class trips on a corrupt stream.
+
+Each test hand-builds a minimal event stream containing one specific
+corruption — a negative dwell, an occupancy overflow, service from a
+parked disk, a cooked energy ledger, a lost log entry — and asserts the
+:class:`InvariantChecker` raises :class:`InvariantViolation` for it
+(and stays silent on the uncorrupted twin).
+"""
+
+import pytest
+
+from repro import (
+    InvariantChecker,
+    InvariantViolation,
+    IORequest,
+    run_simulation,
+)
+from repro.observe import (
+    DirtyFlush,
+    DiskFinalized,
+    DiskService,
+    DiskSpinDown,
+    DiskSpinUp,
+    Evict,
+    Insert,
+    LogAppend,
+    LogFlush,
+    RequestComplete,
+    SimulationStart,
+    SpeedChange,
+    StateDwell,
+)
+
+
+def feed(events, **kwargs):
+    checker = InvariantChecker(**kwargs)
+    for event in events:
+        checker.handle(event)
+    return checker
+
+
+START = SimulationStart(0.0, 2, 4, "full-speed-only", "test", num_modes=6)
+
+
+class TestMonotonicTime:
+    def test_backwards_timestamp_flagged(self):
+        with pytest.raises(InvariantViolation, match="moved backwards"):
+            feed([START, StateDwell(5.0, 0, 0, 1.0, 1.0),
+                  StateDwell(4.0, 0, 0, 1.0, 1.0)])
+
+    def test_equal_timestamps_allowed(self):
+        feed([START, StateDwell(5.0, 0, 0, 1.0, 1.0),
+              StateDwell(5.0, 1, 0, 1.0, 1.0)])
+
+
+class TestOccupancy:
+    def test_overflow_beyond_capacity_flagged(self):
+        events = [START] + [
+            Insert(float(i), 0, i, i + 1) for i in range(5)  # capacity 4
+        ]
+        with pytest.raises(InvariantViolation, match="exceeds capacity"):
+            feed(events)
+
+    def test_ledger_mismatch_flagged(self):
+        with pytest.raises(InvariantViolation, match="occupancy mismatch"):
+            feed([START, Insert(0.0, 0, 1, 2)])  # first insert claims 2
+
+    def test_evict_must_match_ledger(self):
+        with pytest.raises(InvariantViolation, match="occupancy mismatch"):
+            feed([START, Insert(0.0, 0, 1, 1), Evict(1.0, 0, 1, False, 3)])
+
+    def test_balanced_stream_passes(self):
+        feed([START, Insert(0.0, 0, 1, 1), Insert(0.5, 0, 2, 2),
+              Evict(1.0, 0, 1, False, 1)])
+
+
+class TestNonNegativePhysics:
+    def test_negative_dwell_flagged(self):
+        with pytest.raises(InvariantViolation, match="negative dwell"):
+            feed([START, StateDwell(1.0, 0, 2, -0.5, 0.0)])
+
+    def test_negative_energy_flagged(self):
+        with pytest.raises(InvariantViolation, match="negative energy"):
+            feed([START, StateDwell(1.0, 0, 2, 0.5, -1.0)])
+
+    def test_negative_transition_flagged(self):
+        with pytest.raises(InvariantViolation, match="negative transition"):
+            feed([START, DiskSpinDown(1.0, 0, 1, -0.1, 1.0)])
+
+    def test_negative_wake_delay_flagged(self):
+        with pytest.raises(InvariantViolation, match="negative wake delay"):
+            feed([START, DiskSpinUp(1.0, 0, -0.1, 1.0)])
+
+    def test_negative_service_time_flagged(self):
+        with pytest.raises(InvariantViolation, match="negative service"):
+            feed([START, DiskService(1.0, 0, 1.0, -0.01, 0.1, False, 1)])
+
+    def test_negative_latency_flagged(self):
+        with pytest.raises(InvariantViolation, match="negative latency"):
+            feed([START, RequestComplete(1.0, 0, -0.01, False, 1)])
+
+
+class TestServiceWhileParked:
+    def test_full_speed_only_service_below_full_speed_flagged(self):
+        events = [
+            START,
+            StateDwell(10.0, 0, 2, 10.0, 5.0),  # disk parked in NAP2
+            DiskService(10.0, 0, 10.0, 0.01, 0.1, False, 1),
+        ]
+        with pytest.raises(InvariantViolation, match="spin up first"):
+            feed(events)
+
+    def test_spin_up_before_service_passes(self):
+        feed([
+            START,
+            StateDwell(10.0, 0, 2, 10.0, 5.0),
+            DiskSpinUp(10.0, 0, 10.9, 135.0),
+            DiskService(10.0, 0, 20.9, 0.01, 0.1, False, 1),
+        ])
+
+    def test_all_speed_may_serve_slow_but_not_from_standby(self):
+        all_speed = SimulationStart(
+            0.0, 2, 4, "all-speed", "test", num_modes=6
+        )
+        # reduced-speed service is the design's whole point: fine
+        feed([
+            all_speed,
+            StateDwell(10.0, 0, 2, 10.0, 5.0),
+            DiskService(10.0, 0, 10.0, 0.02, 0.1, False, 1),
+        ])
+        # mode 5 (standby) means the spindle is stopped: flagged
+        with pytest.raises(InvariantViolation, match="standby"):
+            feed([
+                all_speed,
+                SpeedChange(10.0, 0, 0, 5),
+                DiskService(10.0, 0, 10.0, 0.02, 0.1, False, 1),
+            ])
+
+
+class TestEnergyBalance:
+    def test_cooked_ledger_flagged(self):
+        events = [
+            START,
+            StateDwell(10.0, 0, 0, 10.0, 120.0),
+            DiskService(10.0, 0, 10.0, 0.01, 0.135, False, 1),
+            DiskFinalized(20.0, 0, 999.0),  # account disagrees
+        ]
+        with pytest.raises(InvariantViolation, match="does not balance"):
+            feed(events)
+
+    def test_balanced_ledger_passes(self):
+        feed([
+            START,
+            StateDwell(10.0, 0, 0, 10.0, 120.0),
+            DiskService(10.0, 0, 10.0, 0.01, 0.135, False, 1),
+            DiskFinalized(20.0, 0, 120.135),
+        ])
+
+    def test_double_finalize_flagged(self):
+        with pytest.raises(InvariantViolation, match="finalized twice"):
+            feed([START, DiskFinalized(1.0, 0, 0.0),
+                  DiskFinalized(2.0, 0, 0.0)])
+
+    def test_service_after_finalize_flagged(self):
+        with pytest.raises(InvariantViolation, match="after finalize"):
+            feed([START, DiskFinalized(1.0, 0, 0.0),
+                  DiskService(2.0, 0, 2.0, 0.01, 0.1, False, 1)])
+
+    def test_balance_check_can_be_disabled(self):
+        feed(
+            [START, StateDwell(1.0, 0, 0, 1.0, 12.0),
+             DiskFinalized(2.0, 0, 999.0)],
+            check_energy_balance=False,
+        )
+
+
+class TestLogDiscipline:
+    def test_flush_discarding_unwritten_entries_flagged(self):
+        events = [
+            START,
+            LogAppend(1.0, 0, 7),
+            LogFlush(2.0, 0, 1),  # block 7 never written home
+        ]
+        with pytest.raises(InvariantViolation, match="never written home"):
+            feed(events)
+
+    def test_recovered_exactly_once_passes(self):
+        feed([
+            START,
+            LogAppend(1.0, 0, 7),
+            LogAppend(1.5, 0, 8),
+            DirtyFlush(2.0, 0, 7),
+            DirtyFlush(2.0, 0, 8),
+            LogFlush(2.0, 0, 2),
+        ])
+
+    def test_finish_flags_abandoned_entries(self):
+        checker = feed([START, LogAppend(1.0, 0, 7)])
+        with pytest.raises(InvariantViolation, match="never written home"):
+            checker.finish()
+
+    def test_close_does_not_flag_pending_entries(self):
+        # pending logged blocks at trace end are legal (pending_dirty)
+        feed([START, LogAppend(1.0, 0, 7)]).close()
+
+
+class TestDiagnostics:
+    def test_violation_message_includes_event_window(self):
+        events = [START] + [
+            StateDwell(float(i), 0, 0, 1.0, 1.0) for i in range(1, 6)
+        ] + [StateDwell(2.0, 0, 0, -1.0, 1.0)]
+        with pytest.raises(InvariantViolation) as exc_info:
+            feed(events, window=4)
+        message = str(exc_info.value)
+        assert "offending event" in message
+        assert "preceding window (4 events)" in message
+
+    def test_counters(self):
+        checker = feed([START, StateDwell(1.0, 0, 0, 1.0, 1.0)])
+        assert checker.events_checked == 2
+        assert checker.violations == 0
+
+
+class TestEndToEnd:
+    def test_env_var_attaches_checker(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+        trace = [
+            IORequest(time=float(i), disk=i % 2, block=i % 5)
+            for i in range(50)
+        ]
+        result = run_simulation(trace, "lru", num_disks=2, cache_blocks=4)
+        assert result.cache_accesses == 50
+
+    def test_closed_loop_stream_satisfies_invariants(self):
+        import numpy as np
+
+        from repro.cache.policies.lru import LRUPolicy
+        from repro.sim.closedloop import ClosedLoopSimulator, HotCoolWorkload
+        from repro.sim.config import SimulationConfig
+
+        config = SimulationConfig(num_disks=4, cache_capacity_blocks=64)
+        workload = HotCoolWorkload(
+            np.random.default_rng(1), num_disks=4, num_hot_disks=2
+        )
+        checker = InvariantChecker()
+        sim = ClosedLoopSimulator(
+            config, LRUPolicy(), workload,
+            num_clients=4, mean_think_time_s=0.5, duration_s=60.0,
+            seed=1, probe=checker.handle,
+        )
+        sim.run()
+        assert checker.violations == 0
+        assert checker.events_checked > 0
+
+    def test_real_wtdu_stream_satisfies_log_discipline(self):
+        trace = [
+            IORequest(
+                time=i * 4.0, disk=i % 2, block=i % 7, is_write=i % 3 != 0
+            )
+            for i in range(120)
+        ]
+        checker = InvariantChecker()
+        run_simulation(
+            trace, "lru", num_disks=2, cache_blocks=8,
+            write_policy="wtdu", probe=checker.handle,
+        )
+        assert checker.violations == 0
+        assert checker.events_checked > 0

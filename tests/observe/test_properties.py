@@ -1,0 +1,202 @@
+"""Property tests: the event stream is a faithful record of the run.
+
+Two families:
+
+* **Replay** — for LRU/FIFO/CLOCK, an independent reference model of
+  the policy (a few lines of OrderedDict bookkeeping, sharing no code
+  with ``repro.cache``) consumes the randomized trace; every
+  ``CacheHit``/``CacheMiss`` event must agree with the reference
+  verdict, every ``Evict`` must name the reference victim, and the
+  stream totals must equal the result's counters.
+* **Energy conservation** — per disk, the joules carried by streamed
+  events sum to the disk's :class:`EnergyAccount` total within 1e-9
+  relative tolerance, for every DPM scheme.
+"""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IORequest, run_simulation
+
+
+def make_trace(steps):
+    """Turn a list of (disk, block, is_write) into a time-ordered trace."""
+    return [
+        IORequest(time=float(i), disk=d, block=b, is_write=w)
+        for i, (d, b, w) in enumerate(steps)
+    ]
+
+
+steps_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=12),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+# -- independent reference models ----------------------------------------
+
+
+class RefLRU:
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.resident = OrderedDict()
+
+    def access(self, key):
+        hit = key in self.resident
+        if hit:
+            self.resident.move_to_end(key)
+        return hit
+
+    def insert(self, key):
+        evicted = []
+        while len(self.resident) >= self.capacity:
+            evicted.append(self.resident.popitem(last=False)[0])
+        self.resident[key] = None
+        return evicted
+
+
+class RefFIFO(RefLRU):
+    def access(self, key):
+        return key in self.resident  # hits never refresh
+
+
+class RefCLOCK:
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.resident = OrderedDict()  # key -> referenced bit
+
+    def access(self, key):
+        hit = key in self.resident
+        if hit:
+            self.resident[key] = True
+        return hit
+
+    def insert(self, key):
+        evicted = []
+        while len(self.resident) >= self.capacity:
+            victim, referenced = next(iter(self.resident.items()))
+            del self.resident[victim]
+            if referenced:
+                self.resident[victim] = False  # second chance
+            else:
+                evicted.append(victim)
+        self.resident[key] = False
+        return evicted
+
+
+REFERENCES = {"lru": RefLRU, "fifo": RefFIFO, "clock": RefCLOCK}
+
+
+def replay_and_check(policy, steps, capacity):
+    trace = make_trace(steps)
+    events = []
+    result = run_simulation(
+        trace,
+        policy,
+        num_disks=3,
+        cache_blocks=capacity,
+        write_policy="write-back",  # never pins, so eviction = policy order
+        probe=events.append,
+        trace_events=True,
+    )
+    reference = REFERENCES[policy](capacity)
+    hits = misses = 0
+    expected_evictions = []
+    for event in events:
+        if event.kind in ("cache_hit", "cache_miss"):
+            ref_hit = reference.access((event.disk, event.block))
+            assert (event.kind == "cache_hit") == ref_hit, (
+                f"{policy}: stream says {event.kind} at t={event.time} "
+                f"for {(event.disk, event.block)}, reference disagrees"
+            )
+            hits += event.kind == "cache_hit"
+            misses += event.kind == "cache_miss"
+            if not ref_hit:
+                expected_evictions.extend(reference.insert(
+                    (event.disk, event.block)
+                ))
+        elif event.kind == "evict":
+            assert expected_evictions, (
+                f"{policy}: unexpected eviction of "
+                f"{(event.disk, event.block)}"
+            )
+            expected = expected_evictions.pop(0)
+            assert (event.disk, event.block) == expected, (
+                f"{policy}: stream evicted {(event.disk, event.block)}, "
+                f"reference evicted {expected}"
+            )
+    assert not expected_evictions
+    assert hits == result.cache_hits
+    assert misses == result.cache_misses
+    assert result.trace_metrics["hits"] == hits
+    assert result.trace_metrics["misses"] == misses
+
+
+@given(steps_strategy, st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_lru_stream_replays_reference_model(steps, capacity):
+    replay_and_check("lru", steps, capacity)
+
+
+@given(steps_strategy, st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_fifo_stream_replays_reference_model(steps, capacity):
+    replay_and_check("fifo", steps, capacity)
+
+
+@given(steps_strategy, st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_clock_stream_replays_reference_model(steps, capacity):
+    replay_and_check("clock", steps, capacity)
+
+
+# -- energy conservation --------------------------------------------------
+
+
+gap_traces = st.lists(
+    st.tuples(
+        st.floats(min_value=0.001, max_value=90.0,
+                  allow_nan=False, allow_infinity=False),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=40),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@pytest.mark.parametrize("dpm", ["practical", "oracle", "always_on"])
+@given(gap_traces)
+@settings(max_examples=25, deadline=None)
+def test_streamed_energy_matches_account_per_disk(dpm, items):
+    time = 0.0
+    trace = []
+    for gap, disk, block, is_write in items:
+        time += gap
+        trace.append(
+            IORequest(time=time, disk=disk, block=block, is_write=is_write)
+        )
+    result = run_simulation(
+        trace, "lru", num_disks=3, cache_blocks=16, dpm=dpm,
+        trace_events=True,
+    )
+    streamed = result.trace_metrics["disk_energy_j"]
+    for report in result.disks:
+        expected = report.account.total_energy_j
+        got = streamed.get(str(report.disk_id), 0.0)
+        assert got == pytest.approx(expected, rel=1e-9, abs=1e-9), (
+            f"disk {report.disk_id} under {dpm}: streamed {got} J, "
+            f"account {expected} J"
+        )
+    assert result.trace_metrics["total_energy_j"] == pytest.approx(
+        result.disk_energy_j, rel=1e-9
+    )
