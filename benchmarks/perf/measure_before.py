@@ -1,0 +1,125 @@
+"""Measure the pre-overhaul ("before") hot-path wall times.
+
+Run this against a checkout of the repository from *before* the
+hot-path overhaul (the commit recorded below) to produce the
+``before`` section embedded in the committed ``BENCH_hotpath.json``::
+
+    git worktree add /tmp/seed <pre-overhaul-commit>
+    # export the benchmark trace from the current tree first:
+    PYTHONPATH=src python benchmarks/perf/measure_before.py --export-trace /tmp/bench_trace.csv
+    PYTHONPATH=/tmp/seed/src python benchmarks/perf/measure_before.py \
+        --trace /tmp/bench_trace.csv --output /tmp/before.json
+    PYTHONPATH=src python -m repro bench --before /tmp/before.json
+
+The trace is exported from the *current* tree so both measurements
+simulate byte-identical requests (the old generator produces the same
+trace but takes minutes at 1M requests). Only :func:`run_simulation`
+is timed, never trace loading. The script uses no post-overhaul APIs,
+so it runs unmodified under the old checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+
+def _export(path: str, requests: int, seed: int) -> None:
+    from repro.traces.io import save_trace
+    from repro.traces.synthetic import (
+        SyntheticTraceConfig,
+        generate_synthetic_trace,
+    )
+
+    cfg = SyntheticTraceConfig(num_requests=requests, seed=seed)
+    save_trace(generate_synthetic_trace(cfg), path)
+    print(f"wrote {requests:,} requests to {path}")
+
+
+def _measure(trace_path: str, gen_requests: int, seed: int) -> dict:
+    from repro.sim.runner import run_simulation
+    from repro.traces.io import load_trace
+
+    trace = load_trace(trace_path)
+    common = {
+        "num_disks": 20,
+        "cache_blocks": 2048,
+        "dpm": "practical",
+        "write_policy": "write-back",
+    }
+    scenarios = {}
+    for name, policy, extra in (
+        ("lru_wb", "lru", {}),
+        ("pa_lru", "pa-lru", {}),
+        ("opg_theta0", "opg", {"theta": 0.0}),
+    ):
+        start = time.perf_counter()
+        run_simulation(trace, policy, **common, **extra)
+        seconds = time.perf_counter() - start
+        scenarios[name] = {
+            "requests": len(trace),
+            "seconds": round(seconds, 4),
+            "krps": round(len(trace) / seconds / 1e3, 1),
+        }
+        print(f"{name}: {seconds:.2f}s", file=sys.stderr)
+
+    # Generation timed at a reduced size: the pre-overhaul Zipf stack
+    # walk is O(depth) per reuse and takes minutes at 1M requests, so
+    # measure a slice and scale linearly (the walk cost per request
+    # grows with trace length, making this an *underestimate* of the
+    # old generator's full-trace cost).
+    from repro.traces.synthetic import (
+        SyntheticTraceConfig,
+        generate_synthetic_trace,
+    )
+
+    cfg = SyntheticTraceConfig(num_requests=gen_requests, seed=seed)
+    start = time.perf_counter()
+    generate_synthetic_trace(cfg)
+    seconds = time.perf_counter() - start
+    full_requests = len(trace)
+    scenarios["generate"] = {
+        "requests": full_requests,
+        "seconds": round(seconds * full_requests / gen_requests, 4),
+        "measured_requests": gen_requests,
+        "note": "measured at measured_requests, scaled linearly "
+        "(underestimate: the old stack walk is superlinear)",
+    }
+    print(f"generate ({gen_requests:,} rows): {seconds:.2f}s", file=sys.stderr)
+    return scenarios
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--export-trace", default=None, metavar="CSV")
+    parser.add_argument("--trace", default=None, metavar="CSV")
+    parser.add_argument("--output", default="before.json")
+    parser.add_argument("--requests", type=int, default=1_000_000)
+    parser.add_argument("--gen-requests", type=int, default=100_000)
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--commit", default=None, help="seed commit id")
+    args = parser.parse_args()
+
+    if args.export_trace is not None:
+        _export(args.export_trace, args.requests, args.seed)
+        return 0
+    if args.trace is None:
+        parser.error("need --trace (or --export-trace)")
+
+    before = {
+        "description": "same trace, pre-overhaul simulator "
+        "(object-per-request loop, unmemoized DPM walks)",
+        "scenarios": _measure(args.trace, args.gen_requests, args.seed),
+    }
+    if args.commit is not None:
+        before["commit"] = args.commit
+    Path(args.output).write_text(json.dumps(before, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,7 @@ from repro.sim import (
 )
 from repro.traces import (
     CelloTraceConfig,
+    ColumnarTrace,
     IORequest,
     OLTPTraceConfig,
     SyntheticTraceConfig,
@@ -96,6 +97,7 @@ from repro.traces import (
     generate_cello_trace,
     generate_oltp_trace,
     generate_synthetic_trace,
+    generate_synthetic_trace_columnar,
     trace_fingerprint,
 )
 from repro.campaign import (
@@ -116,6 +118,7 @@ __all__ = [
     "CampaignError",
     "CampaignSpec",
     "CelloTraceConfig",
+    "ColumnarTrace",
     "ClockPolicy",
     "ConfigurationError",
     "DiskArray",
@@ -171,6 +174,7 @@ __all__ = [
     "generate_cello_trace",
     "generate_oltp_trace",
     "generate_synthetic_trace",
+    "generate_synthetic_trace_columnar",
     "make_pa_lru",
     "run_campaign",
     "run_simulation",

@@ -1,0 +1,286 @@
+"""The tracked performance benchmark harness (``repro bench``).
+
+Times the simulator's hot paths on fixed, seeded workloads and writes
+the measurements as JSON (``BENCH_hotpath.json`` by default) so every
+PR leaves a performance trajectory behind. Each policy scenario runs
+the *same* trace through both representations:
+
+* **legacy** — a list of :class:`~repro.traces.record.IORequest`
+  objects driving the per-object engine loop, and
+* **columnar** — a :class:`~repro.traces.columnar.ColumnarTrace`
+  driving the struct-of-arrays fast path,
+
+and records wall times plus their ratio (``speedup``). Because the
+ratio compares two measurements from the same process on the same
+machine, it is what CI gates on — absolute wall times vary across
+runners, the legacy/columnar ratio far less. The harness also asserts
+the two paths produce byte-identical serialized results, so a perf run
+doubles as an end-to-end equivalence check.
+
+Scenarios (``--small`` shrinks the workloads for CI smoke runs):
+
+========== ===========================================================
+generate    synthetic trace generation, object rows vs columns
+lru_wb      LRU + write-back, practical DPM (the headline scenario)
+pa_lru      PA-LRU (epoch classifier exercised)
+opg_theta0  OPG with θ=0 (offline prepare + priority eviction)
+campaign    16-point grid via ``run_points`` with 2 workers, trace
+            pickled per worker vs shipped once through shared memory
+========== ===========================================================
+
+``--check BASELINE.json`` compares each scenario's speedup against the
+committed baseline and exits non-zero on a >``--tolerance`` regression.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.campaign.executor import PointTask, run_points
+from repro.sim.runner import run_simulation
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.synthetic import (
+    SyntheticTraceConfig,
+    generate_synthetic_trace,
+    generate_synthetic_trace_columnar,
+)
+
+#: Shared simulation knobs for every policy scenario.
+COMMON = {
+    "num_disks": 20,
+    "cache_blocks": 2048,
+    "dpm": "practical",
+    "write_policy": "write-back",
+}
+
+#: name -> (policy, extra run_simulation kwargs)
+POLICY_SCENARIOS = (
+    ("lru_wb", "lru", {}),
+    ("pa_lru", "pa-lru", {}),
+    ("opg_theta0", "opg", {"theta": 0.0}),
+)
+
+#: The 16-point campaign grid: 4 policies x 2 cache sizes x 2 writers.
+CAMPAIGN_POLICIES = ("lru", "fifo", "clock", "pa-lru")
+CAMPAIGN_CACHES = (1024, 4096)
+CAMPAIGN_WRITERS = ("write-back", "write-through")
+
+TRACE_SEED = 1234
+
+
+def _timed(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    """Best-of-``repeats`` wall time; returns (seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _serialized(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def _campaign_tasks() -> list[PointTask]:
+    tasks = []
+    for policy in CAMPAIGN_POLICIES:
+        for cache in CAMPAIGN_CACHES:
+            for writer in CAMPAIGN_WRITERS:
+                tasks.append(
+                    PointTask(
+                        index=len(tasks),
+                        params={
+                            "policy": policy,
+                            "cache_blocks": cache,
+                            "write_policy": writer,
+                        },
+                        run_kwargs={
+                            **COMMON,
+                            "policy": policy,
+                            "cache_blocks": cache,
+                            "write_policy": writer,
+                        },
+                    )
+                )
+    return tasks
+
+
+def run_bench(
+    small: bool = False,
+    progress: Callable[[str], None] = lambda line: None,
+) -> dict:
+    """Run every scenario and return the report dictionary."""
+    policy_n = 50_000 if small else 1_000_000
+    campaign_n = 10_000 if small else 100_000
+    repeats = 3 if small else 1
+
+    report: dict = {
+        "schema": 1,
+        "mode": "small" if small else "full",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "scenarios": {},
+    }
+    scenarios = report["scenarios"]
+
+    # -- trace generation --------------------------------------------------
+    cfg = SyntheticTraceConfig(num_requests=policy_n, seed=TRACE_SEED)
+    progress(f"generate: {policy_n:,} requests ...")
+    legacy_s, legacy_trace = _timed(
+        lambda: generate_synthetic_trace(cfg), repeats
+    )
+    columnar_s, trace = _timed(
+        lambda: generate_synthetic_trace_columnar(cfg), repeats
+    )
+    scenarios["generate"] = {
+        "requests": policy_n,
+        "legacy_s": round(legacy_s, 4),
+        "columnar_s": round(columnar_s, 4),
+        "speedup": round(legacy_s / columnar_s, 3),
+        "identical": list(trace.iter_requests()) == legacy_trace,
+    }
+    progress(
+        f"generate: legacy {legacy_s:.2f}s, columnar {columnar_s:.2f}s "
+        f"({legacy_s / columnar_s:.2f}x)"
+    )
+
+    # -- policy scenarios --------------------------------------------------
+    for name, policy, extra in POLICY_SCENARIOS:
+        progress(f"{name}: {policy_n:,} requests ...")
+        legacy_s, legacy_result = _timed(
+            lambda: run_simulation(legacy_trace, policy, **COMMON, **extra),
+            repeats,
+        )
+        columnar_s, columnar_result = _timed(
+            lambda: run_simulation(trace, policy, **COMMON, **extra),
+            repeats,
+        )
+        identical = _serialized(legacy_result) == _serialized(columnar_result)
+        scenarios[name] = {
+            "requests": policy_n,
+            "legacy_s": round(legacy_s, 4),
+            "columnar_s": round(columnar_s, 4),
+            "speedup": round(legacy_s / columnar_s, 3),
+            "columnar_krps": round(policy_n / columnar_s / 1e3, 1),
+            "identical": identical,
+        }
+        progress(
+            f"{name}: legacy {legacy_s:.2f}s, columnar {columnar_s:.2f}s "
+            f"({legacy_s / columnar_s:.2f}x, identical={identical})"
+        )
+
+    # -- campaign fan-out --------------------------------------------------
+    camp_cfg = SyntheticTraceConfig(num_requests=campaign_n, seed=TRACE_SEED)
+    camp_trace = generate_synthetic_trace_columnar(camp_cfg)
+    camp_legacy = camp_trace.to_requests()
+    tasks = _campaign_tasks()
+    progress(f"campaign: {len(tasks)} points x {campaign_n:,} requests ...")
+    pickled_s, pickled = _timed(
+        lambda: run_points(tasks, trace=camp_legacy, workers=2), repeats
+    )
+    shared_s, shared = _timed(
+        lambda: run_points(tasks, trace=camp_trace, workers=2), repeats
+    )
+    identical = all(
+        _serialized(a.result) == _serialized(b.result)
+        for a, b in zip(pickled, shared)
+    )
+    scenarios["campaign"] = {
+        "points": len(tasks),
+        "requests": campaign_n,
+        "workers": 2,
+        "pickled_s": round(pickled_s, 4),
+        "shared_s": round(shared_s, 4),
+        "speedup": round(pickled_s / shared_s, 3),
+        "identical": identical,
+    }
+    progress(
+        f"campaign: pickled {pickled_s:.2f}s, shared {shared_s:.2f}s "
+        f"({pickled_s / shared_s:.2f}x, identical={identical})"
+    )
+    return report
+
+
+def attach_before(report: dict, before: dict) -> None:
+    """Embed seed-commit measurements and per-scenario speedups.
+
+    ``before`` is the output of ``benchmarks/perf/measure_before.py``
+    run against a pre-overhaul checkout: the same traces timed through
+    the code the repository had before the hot-path work. Scenario
+    names shared with the report gain a ``speedup_vs_before`` entry
+    (before seconds / current columnar seconds).
+    """
+    report["before"] = before
+    speedups = {}
+    for name, measured in before.get("scenarios", {}).items():
+        current = report["scenarios"].get(name)
+        if current is None or "columnar_s" not in current:
+            continue
+        speedups[name] = round(measured["seconds"] / current["columnar_s"], 3)
+    report["speedup_vs_before"] = speedups
+
+
+def check_regression(
+    report: dict, baseline: dict, tolerance: float
+) -> list[str]:
+    """Compare speedup ratios against a baseline report.
+
+    Returns a list of human-readable failures (empty = pass). A
+    scenario regresses when its current speedup falls more than
+    ``tolerance`` (fractional) below the baseline's, or when the two
+    trace representations stopped producing identical results.
+    """
+    failures = []
+    for name, current in report["scenarios"].items():
+        if current.get("identical") is False:
+            failures.append(f"{name}: legacy and columnar results differ")
+        base = baseline.get("scenarios", {}).get(name)
+        if base is None or "speedup" not in base or "speedup" not in current:
+            continue
+        floor = base["speedup"] * (1.0 - tolerance)
+        if current["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {current['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(args) -> int:
+    """``repro bench`` entry point (argparse namespace in, exit code out)."""
+    report = run_bench(small=args.small, progress=print)
+
+    if args.before is not None:
+        attach_before(report, json.loads(Path(args.before).read_text()))
+        for name, speedup in report["speedup_vs_before"].items():
+            print(f"{name}: {speedup:.2f}x vs pre-overhaul baseline")
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    if args.check is not None:
+        baseline = json.loads(Path(args.check).read_text())
+        failures = check_regression(report, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"no regression vs {args.check} "
+            f"(tolerance {args.tolerance:.0%})"
+        )
+    return 0

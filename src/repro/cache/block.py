@@ -17,7 +17,7 @@ from dataclasses import dataclass
 BlockKey = tuple[int, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockState:
     """Mutable per-block metadata held by the cache."""
 

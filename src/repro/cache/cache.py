@@ -17,14 +17,20 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.observe.events import CacheHit, CacheMiss, Evict, Insert
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one cache access."""
 
     hit: bool
     #: Blocks pushed out to make room, with their final state (the
-    #: write policy must persist the dirty ones).
+    #: write policy must persist the dirty ones). Callers only read it.
     evicted: list[tuple[BlockKey, BlockState]] = field(default_factory=list)
+
+
+#: Shared hit result — a hit never carries evictions, so the access
+#: path returns this singleton instead of allocating per hit.
+_HIT = AccessResult(hit=True)
+_EMPTY_MISS_EVICTIONS: list[tuple[BlockKey, BlockState]] = []
 
 
 class StorageCache:
@@ -91,18 +97,30 @@ class StorageCache:
         The caller is responsible for any disk I/O implied by the miss
         and by the returned evictions.
         """
-        hit = key in self._blocks
-        self.stats.record_access(key, hit, is_write)
+        state = self._blocks.get(key)
+        hit = state is not None
+        stats = self.stats
+        # record_access inlined — this is the hottest call in a run.
+        stats.accesses += 1
+        if is_write:
+            stats.write_accesses += 1
+        else:
+            stats.read_accesses += 1
         if self.probe is not None:
             event_cls = CacheHit if hit else CacheMiss
             self.probe(event_cls(time, key[0], key[1], is_write))
         self.policy.on_access(key, time, hit)
         if hit:
-            state = self._blocks[key]
+            stats.hits += 1
             if state.prefetched:
                 state.prefetched = False
-                self.stats.prefetch_hits += 1
-            return AccessResult(hit=True)
+                stats.prefetch_hits += 1
+            return _HIT
+        stats.misses += 1
+        seen = stats._seen
+        if key not in seen:
+            stats.cold_misses += 1
+            seen.add(key)
         evicted = self._make_room(time)
         self._blocks[key] = BlockState()
         self.policy.on_insert(key, time)
@@ -118,7 +136,7 @@ class StorageCache:
         classifier. No-op if the block is already resident.
         """
         if key in self._blocks:
-            return AccessResult(hit=True)
+            return _HIT
         evicted = self._make_room(time)
         self._blocks[key] = BlockState(prefetched=True)
         self.policy.on_insert(key, time)
@@ -130,50 +148,66 @@ class StorageCache:
         return AccessResult(hit=False, evicted=evicted)
 
     def _make_room(self, time: float) -> list[tuple[BlockKey, BlockState]]:
-        if self.capacity is None:
-            return []
+        blocks = self._blocks
+        capacity = self.capacity
+        if capacity is None or len(blocks) < capacity:
+            return _EMPTY_MISS_EVICTIONS
+        policy = self.policy
+        stats = self.stats
         evicted: list[tuple[BlockKey, BlockState]] = []
-        while len(self._blocks) >= self.capacity:
+        while len(blocks) >= capacity:
             # Pinned victims are set aside (not re-inserted) until a
             # real victim is found: the policy forgets each candidate
             # as it offers it, so every round makes progress even for
             # policies whose ranking would re-offer the same pinned
             # block forever (Belady, OPG).
-            skipped: list[BlockKey] = []
+            skipped: list[BlockKey] | None = None
             victim = None
-            while len(self.policy):
-                candidate = self.policy.evict(time)
-                state = self._blocks.get(candidate)
+            state = None
+            while len(policy):
+                candidate = policy.evict(time)
+                state = blocks.get(candidate)
                 if state is None:
                     raise SimulationError(
                         f"policy evicted non-resident block {candidate}"
                     )
                 if state.pinned:
-                    skipped.append(candidate)
+                    if skipped is None:
+                        skipped = [candidate]
+                    else:
+                        skipped.append(candidate)
                     continue
                 victim = candidate
                 break
-            for key in skipped:
-                self.policy.on_insert(key, time)
+            if skipped is not None:
+                for key in skipped:
+                    policy.on_insert(key, time)
             if victim is None:
                 raise SimulationError(
                     "cache cannot evict: all resident blocks are pinned "
                     f"({self._pinned} logged blocks); the write policy "
                     "must flush before the cache fills with pinned blocks"
                 )
-            state = self._blocks[victim]
-            self._forget(victim)
-            self.stats.evictions += 1
+            # _forget inlined, reusing the state fetched above.
+            del blocks[victim]
+            dirty_or_logged = state.dirty or state.logged
+            if dirty_or_logged:
+                if state.logged:
+                    self._pinned -= 1
+                bucket = self._dirty_by_disk.get(victim[0])
+                if bucket is not None:
+                    bucket.discard(victim)
+            stats.evictions += 1
             if state.dirty:
-                self.stats.dirty_evictions += 1
+                stats.dirty_evictions += 1
             if self.probe is not None:
                 self.probe(
                     Evict(
                         time,
                         victim[0],
                         victim[1],
-                        state.dirty or state.logged,
-                        len(self._blocks),
+                        dirty_or_logged,
+                        len(blocks),
                     )
                 )
             evicted.append((victim, state))

@@ -21,7 +21,7 @@ are prepared with must match the ``on_access`` stream exactly.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Iterable
 
 from repro.cache.block import BlockKey
 from repro.errors import PolicyError
@@ -78,16 +78,26 @@ class OfflinePolicy(ReplacementPolicy):
         self._next_pos: list[int] = []
         self._next_time: list[float] = []
 
-    def prepare(self, accesses: Sequence[tuple[float, BlockKey]]) -> None:
+    def prepare(self, accesses: Iterable[tuple[float, BlockKey]]) -> None:
         """Load the full future access sequence.
 
         Args:
             accesses: ``(time, key)`` pairs in the exact order the cache
-                will issue ``on_access`` calls.
+                will issue ``on_access`` calls. Any iterable works —
+                streaming one (see
+                :func:`repro.traces.record.iter_accesses`) avoids ever
+                materializing the flattened access list.
         """
-        n = len(accesses)
-        self._times = [t for t, _ in accesses]
-        self._keys = [k for _, k in accesses]
+        times: list[float] = []
+        keys: list[BlockKey] = []
+        times_append = times.append
+        keys_append = keys.append
+        for t, k in accesses:
+            times_append(t)
+            keys_append(k)
+        n = len(keys)
+        self._times = times
+        self._keys = keys
         inf = float("inf")
         self._next_pos = [n] * n
         self._next_time = [inf] * n

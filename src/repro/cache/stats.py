@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Counters maintained by :class:`~repro.cache.cache.StorageCache`.
 

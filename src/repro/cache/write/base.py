@@ -80,12 +80,13 @@ class WritePolicy(ABC):
 
     def _write_to_disk(self, key: BlockKey, time: float) -> float:
         """Issue the physical write; returns its response time."""
-        self._require_attached()
+        if self.cache is None or self.array is None:
+            self._require_attached()
         disk, block = key
-        response = self.array.submit(disk, time, block, 1, is_write=True)
+        response_time, _ = self.array.submit_quick(disk, time, block, True)
         self.disk_writes += 1
         if self.probe is not None:
             self.probe(DirtyFlush(time, disk, block))
         if self.activity_listener is not None:
             self.activity_listener(disk, time)
-        return response.response_time_s
+        return response_time

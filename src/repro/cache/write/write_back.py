@@ -17,8 +17,10 @@ class WriteBackPolicy(WritePolicy):
     name = "write-back"
 
     def on_write(self, key: BlockKey, time: float) -> float:
-        self._require_attached()
-        self.cache.mark_dirty(key)
+        cache = self.cache
+        if cache is None or self.array is None:
+            self._require_attached()
+        cache.mark_dirty(key)
         return 0.0
 
     def on_evicted(self, key: BlockKey, state: BlockState, time: float) -> None:

@@ -17,6 +17,14 @@ receiving ``(index, trace_args, run_kwargs)`` tuples over a pipe and
 replying with the pickled :class:`~repro.sim.results.SimulationResult`.
 Results are therefore bit-identical to a serial run: the same
 deterministic simulation executes, only in another process.
+
+Fixed columnar workloads are not pickled into the workers at all:
+the parent publishes the columns once into POSIX shared memory
+(:meth:`~repro.traces.columnar.ColumnarTrace.share`) and ships only
+the small :class:`~repro.traces.columnar.SharedTraceDescriptor`; each
+worker (including respawns after a timeout) maps the same buffers
+zero-copy. The parent owns the segment and unlinks it when the
+campaign ends.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from typing import Any, Callable, Sequence
 from repro.errors import CampaignError
 from repro.sim.results import SimulationResult
 from repro.sim.runner import run_simulation
+from repro.traces.columnar import ColumnarTrace, SharedTraceDescriptor
 from repro.traces.record import IORequest
 
 from repro.campaign.journal import RunJournal
@@ -110,34 +119,43 @@ class PointOutcome:
 def _worker_main(
     conn,
     worker_id: int,
-    trace: Sequence[IORequest] | Callable,
+    trace: Sequence[IORequest] | SharedTraceDescriptor | Callable,
     point_fn: PointFn,
 ) -> None:
     """Worker loop: receive a point, simulate, reply. ``None`` stops."""
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            return
-        if message is None:
-            return
-        index, trace_args, run_kwargs = message
-        started = time.perf_counter()
-        try:
-            workload = trace(**trace_args) if trace_args is not None else trace
-            result = point_fn(workload, **run_kwargs)
-            reply = (index, "ok", result, time.perf_counter() - started)
-        except Exception:
-            reply = (
-                index,
-                "error",
-                traceback.format_exc(limit=20),
-                time.perf_counter() - started,
-            )
-        try:
-            conn.send(reply)
-        except (BrokenPipeError, OSError):
-            return
+    attached: ColumnarTrace | None = None
+    if isinstance(trace, SharedTraceDescriptor):
+        trace = attached = ColumnarTrace.from_shared(trace)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if message is None:
+                return
+            index, trace_args, run_kwargs = message
+            started = time.perf_counter()
+            try:
+                workload = (
+                    trace(**trace_args) if trace_args is not None else trace
+                )
+                result = point_fn(workload, **run_kwargs)
+                reply = (index, "ok", result, time.perf_counter() - started)
+            except Exception:
+                reply = (
+                    index,
+                    "error",
+                    traceback.format_exc(limit=20),
+                    time.perf_counter() - started,
+                )
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                return
+    finally:
+        if attached is not None:
+            attached.close()
 
 
 class _Worker:
@@ -337,7 +355,17 @@ def _run_parallel(pending, trace, point_fn, workers, retry, on_error, key_of, fi
     pool_size = min(workers, len(pending))
     if pool_size == 0:
         return
-    pool = [_Worker(ctx, i, trace, point_fn) for i in range(pool_size)]
+    # Ship a fixed columnar workload through shared memory: every
+    # worker (and every respawn) maps the same buffers instead of
+    # receiving its own pickled copy of the trace.
+    worker_trace = trace
+    shm = None
+    if isinstance(trace, ColumnarTrace):
+        try:
+            worker_trace, shm = trace.share()
+        except (ImportError, OSError, ValueError):
+            worker_trace = trace  # no shared memory here: pickle as before
+    pool = [_Worker(ctx, i, worker_trace, point_fn) for i in range(pool_size)]
     idle: deque[_Worker] = deque(pool)
     queue: deque[tuple[PointTask, int]] = deque((t, 0) for t in pending)
     inflight: dict[int, _Attempt] = {}  # worker id -> attempt
@@ -345,7 +373,7 @@ def _run_parallel(pending, trace, point_fn, workers, retry, on_error, key_of, fi
 
     def respawn(worker: _Worker) -> _Worker:
         worker.kill()
-        fresh = _Worker(ctx, worker.id, trace, point_fn)
+        fresh = _Worker(ctx, worker.id, worker_trace, point_fn)
         pool[pool.index(worker)] = fresh
         return fresh
 
@@ -442,6 +470,12 @@ def _run_parallel(pending, trace, point_fn, workers, retry, on_error, key_of, fi
                 worker.kill()
             else:
                 worker.stop()
+        if shm is not None:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
 
     if failures and on_error == "raise":
         summary = "; ".join(

@@ -156,6 +156,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="attach a metrics sink to every grid point; counters appear "
         "as trace_metrics in each record",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the simulator hot paths and write BENCH_hotpath.json "
+        "(see benchmarks/perf/)",
+    )
+    bench.add_argument(
+        "--small", action="store_true",
+        help="50k-request smoke workload (CI); default is the full "
+        "1M-request suite",
+    )
+    bench.add_argument(
+        "-o", "--output", default="BENCH_hotpath.json",
+        help="report path (default BENCH_hotpath.json)",
+    )
+    bench.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare speedup ratios against a baseline report and exit "
+        "non-zero on regression",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional speedup drop for --check (default 0.25)",
+    )
+    bench.add_argument(
+        "--before", default=None, metavar="JSON",
+        help="embed pre-overhaul measurements "
+        "(benchmarks/perf/measure_before.py output) in the report",
+    )
     return parser
 
 
@@ -422,6 +451,12 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import main as bench_main
+
+    return bench_main(args)
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "generate": _cmd_generate,
@@ -429,6 +464,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "reproduce": _cmd_reproduce,
     "campaign": _cmd_campaign,
+    "bench": _cmd_bench,
 }
 
 

@@ -93,6 +93,12 @@ class DiskArray:
         """Submit one request to a member disk."""
         return self._disks[disk_id].submit(arrival, block, nblocks, is_write)
 
+    def submit_quick(
+        self, disk_id: int, arrival: float, block: int, is_write: bool = False
+    ) -> tuple[float, float]:
+        """Single-block fast path: ``(response_time_s, wake_delay_s)``."""
+        return self._disks[disk_id].submit_quick(arrival, block, is_write)
+
     def finalize(self, end_time: float) -> None:
         """Close out trailing idle gaps on every disk."""
         for disk in self._disks:

@@ -15,7 +15,7 @@ from repro.errors import ConfigurationError
 from repro.units import SECTOR_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DiskAddress:
     """Physical location of a block: cylinder, head (surface), sector."""
 
@@ -90,6 +90,18 @@ class DiskGeometry:
             head=head,
             sector=track_block * self.sectors_per_block,
         )
+
+    def locate_cs(self, block: int) -> tuple[int, int]:
+        """``(cylinder, sector)`` of a block — :meth:`locate` without
+        the :class:`DiskAddress` allocation, for the service-time hot
+        path."""
+        if not 0 <= block < self.num_blocks:
+            raise ValueError(
+                f"block {block} out of range [0, {self.num_blocks})"
+            )
+        cylinder, rem = divmod(block, self.blocks_per_cylinder)
+        track_block = rem % self.blocks_per_track
+        return cylinder, track_block * self.sectors_per_block
 
     def block_of(self, address: DiskAddress) -> int:
         """Inverse of :meth:`locate` (sector must be block-aligned)."""

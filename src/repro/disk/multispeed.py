@@ -82,6 +82,15 @@ class AllSpeedServiceDisk(SimulatedDisk):
         self.slow_services = 0
         self.ramp_ups = 0
 
+    def submit_quick(
+        self, arrival: float, block: int, is_write: bool = False
+    ) -> tuple[float, float]:
+        # The base-class fast path inlines full-speed service math; an
+        # all-speed disk may serve below full speed, so always take the
+        # complete submit() route here.
+        response = self.submit(arrival, block, 1, is_write)
+        return response.finish - response.arrival, response.wake_delay_s
+
     def submit(
         self, arrival: float, block: int, nblocks: int = 1, is_write: bool = False
     ) -> DiskResponse:

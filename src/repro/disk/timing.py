@@ -16,7 +16,7 @@ from repro.disk.seek import SeekModel
 from repro.units import rpm_to_period
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServiceBreakdown:
     """Components of one request's on-disk service."""
 
@@ -75,31 +75,36 @@ class ServiceTimeModel:
         """
         if nblocks < 1:
             raise ValueError(f"nblocks must be >= 1, got {nblocks}")
-        addr = self.geometry.locate(block)
+        geometry = self.geometry
+        cylinder, sector = geometry.locate_cs(block)
         # Clamp multi-block requests at the end of the disk.
-        last_block = min(block + nblocks, self.geometry.num_blocks) - 1
-        end_addr = self.geometry.locate(last_block)
+        last_block = min(block + nblocks, geometry.num_blocks) - 1
+        if last_block == block:
+            end_cylinder = cylinder
+        else:
+            end_cylinder = geometry.locate_cs(last_block)[0]
 
-        seek_s = self.seek.seek_time(abs(addr.cylinder - current_cylinder))
+        period = self.rotation_period_s
+        seek_s = self.seek.seek_time(abs(cylinder - current_cylinder))
         # Rotational latency: wait for the target sector to pass under
         # the head once the seek completes. The sector angle depends on
         # the track's capacity (zoned geometries vary it per cylinder).
-        sector_angle = 1.0 / self.geometry.track_sectors(addr.cylinder)
-        at_head = self.angular_position(start_time + seek_s)
-        target = addr.sector * sector_angle
+        sector_angle = 1.0 / geometry.track_sectors(cylinder)
+        at_head = ((start_time + seek_s) / period) % 1.0
+        target = sector * sector_angle
         delta = target - at_head
         if delta < 0:
             delta += 1.0
-        rotation_s = delta * self.rotation_period_s
+        rotation_s = delta * period
 
         # Transfer: consecutive sectors; track/head switches are folded
         # into the per-sector rate (a simplification that slightly
         # favours long transfers, uniformly across all policies).
-        sectors = (last_block - block + 1) * self.geometry.sectors_per_block
-        transfer_s = sectors * sector_angle * self.rotation_period_s
+        sectors = (last_block - block + 1) * geometry.sectors_per_block
+        transfer_s = sectors * sector_angle * period
         return (
             ServiceBreakdown(
                 seek_s=seek_s, rotation_s=rotation_s, transfer_s=transfer_s
             ),
-            end_addr.cylinder,
+            end_cylinder,
         )

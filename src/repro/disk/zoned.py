@@ -137,6 +137,17 @@ class ZonedDiskGeometry(DiskGeometry):
             sector=track_block * spb,
         )
 
+    def locate_cs(self, block: int) -> tuple[int, int]:
+        z = self.zone_of_block(block)
+        zone = self.zones[z]
+        spb = self.sectors_per_block
+        blocks_per_track = zone.sectors_per_track // spb
+        blocks_per_cyl = blocks_per_track * self.heads
+        offset = block - self._zone_first_block[z]
+        cyl_in_zone, rem = divmod(offset, blocks_per_cyl)
+        track_block = rem % blocks_per_track
+        return self._zone_first_cylinder[z] + cyl_in_zone, track_block * spb
+
     def block_of(self, address: DiskAddress) -> int:
         if address.sector % self.sectors_per_block:
             raise ValueError(f"sector {address.sector} is not block-aligned")

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from repro.power.dpm import IdleOutcome
 
 
-@dataclass
+@dataclass(slots=True)
 class EnergyAccount:
     """Accumulated energy/time ledger for one disk (or a whole array)."""
 
@@ -31,18 +31,29 @@ class EnergyAccount:
 
     def add_idle(self, outcome: IdleOutcome) -> None:
         """Fold one idle-gap outcome (including its wake cost) in."""
-        for mode, seconds in outcome.mode_residency_s.items():
-            self.add_mode_residency(mode, seconds, 0.0)
-        # Residency energy = gap energy minus in-gap transition energy.
-        residency_energy = outcome.energy_j - outcome.transition_energy_j
-        # Attribute residency energy proportionally to time per mode.
-        total_res = sum(outcome.mode_residency_s.values())
-        if total_res > 0:
-            for mode, seconds in outcome.mode_residency_s.items():
-                self.mode_energy_j[mode] = (
-                    self.mode_energy_j.get(mode, 0.0)
-                    + residency_energy * (seconds / total_res)
-                )
+        residency = outcome.mode_residency_s
+        if len(residency) == 1:
+            # Single-mode gap (the overwhelmingly common short gap):
+            # the proportional attribution below reduces to ``* 1.0``,
+            # so the whole residency energy goes to the one mode.
+            ((mode, seconds),) = residency.items()
+            self.mode_time_s[mode] = self.mode_time_s.get(mode, 0.0) + seconds
+            self.mode_energy_j[mode] = self.mode_energy_j.get(mode, 0.0) + (
+                outcome.energy_j - outcome.transition_energy_j
+            )
+        else:
+            for mode, seconds in residency.items():
+                self.add_mode_residency(mode, seconds, 0.0)
+            # Residency energy = gap energy minus in-gap transition energy.
+            residency_energy = outcome.energy_j - outcome.transition_energy_j
+            # Attribute residency energy proportionally to time per mode.
+            total_res = sum(residency.values())
+            if total_res > 0:
+                for mode, seconds in residency.items():
+                    self.mode_energy_j[mode] = (
+                        self.mode_energy_j.get(mode, 0.0)
+                        + residency_energy * (seconds / total_res)
+                    )
         self.transition_time_s += outcome.transition_time_s + outcome.wake_delay_s
         self.transition_energy_j += (
             outcome.transition_energy_j + outcome.wake_energy_j

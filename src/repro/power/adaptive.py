@@ -24,7 +24,7 @@ workloads for faster reactions on shifting ones.
 from __future__ import annotations
 
 from repro.errors import ConfigurationError
-from repro.power.dpm import IdleOutcome, PracticalDPM
+from repro.power.dpm import DiskPowerManager, IdleOutcome, PracticalDPM
 from repro.power.envelope import EnergyEnvelope
 from repro.power.modes import PowerModel
 
@@ -78,6 +78,7 @@ class AdaptiveThresholdDPM(PracticalDPM):
             (t * self.scale, mode) for t, mode in self._base_thresholds
         ]
         self._steps = self._build_schedule(self.thresholds)
+        self._refresh_tables()
         self.adaptations += 1
 
     def process_idle(self, duration: float, wake: bool = True) -> IdleOutcome:
@@ -93,3 +94,9 @@ class AdaptiveThresholdDPM(PracticalDPM):
             # long gap wasted at shallow modes: lean in
             self._rescale(self.shrink)
         return outcome
+
+    # PracticalDPM's memoized account_idle would skip the adaptation
+    # hook above; route through process_idle instead. (The disk's
+    # quick-idle shortcut remains safe: sub-threshold gaps have no
+    # spindowns and cannot trigger either rescale rule.)
+    account_idle = DiskPowerManager.account_idle

@@ -20,6 +20,7 @@ reconstructs what happened during it.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -27,7 +28,7 @@ from repro.power.envelope import EnergyEnvelope
 from repro.power.modes import PowerModel
 
 
-@dataclass
+@dataclass(slots=True)
 class IdleOutcome:
     """What happened on a disk during one idle gap.
 
@@ -64,6 +65,15 @@ class IdleOutcome:
 class DiskPowerManager(ABC):
     """Strategy interface for disk power management."""
 
+    #: Gaps of at most this length are "quiet": the disk stays in mode
+    #: 0 the whole time, spending ``duration * quick_idle_power_w``
+    #: joules with no transitions and no wake cost. The simulated
+    #: disk's fast path uses these two attributes to account such gaps
+    #: inline instead of building an :class:`IdleOutcome`; ``0.0``
+    #: (the conservative default) disables the shortcut.
+    quick_idle_limit: float = 0.0
+    quick_idle_power_w: float = 0.0
+
     def __init__(self, model: PowerModel) -> None:
         self.model = model
 
@@ -87,6 +97,15 @@ class DiskPowerManager(ABC):
         """
         return self.process_idle(duration).total_energy_j
 
+    def account_idle(self, duration: float, wake, account) -> float:
+        """Process a gap and fold it into ``account``; returns the wake
+        delay. Semantically ``account.add_idle(process_idle(...))`` —
+        schemes with memo tables override this to skip the outcome
+        object entirely."""
+        outcome = self.process_idle(duration, wake)
+        account.add_idle(outcome)
+        return outcome.wake_delay_s
+
     @abstractmethod
     def mode_after_idle(self, elapsed: float) -> int:
         """Mode the disk occupies after being idle for ``elapsed`` seconds.
@@ -98,6 +117,12 @@ class DiskPowerManager(ABC):
 
 class AlwaysOnDPM(DiskPowerManager):
     """Baseline: the disk idles at full speed through every gap."""
+
+    quick_idle_limit = float("inf")
+
+    def __init__(self, model: PowerModel) -> None:
+        super().__init__(model)
+        self.quick_idle_power_w = model[0].power_w
 
     def process_idle(self, duration: float, wake: bool = True) -> IdleOutcome:
         if duration < 0:
@@ -183,6 +208,321 @@ class _Step:
     shift_energy: float
 
 
+class _SegmentTable:
+    """Piecewise precomputation of one descent schedule.
+
+    A gap of length ``d`` lands in one of ``2K+1`` segments (``K``
+    rungs): residency segments ``[e_i, s_{i+1}]`` alternating with
+    open shift intervals ``(s_i, e_i)``. Everything the incremental
+    walk accumulates before the segment containing ``d`` is a constant
+    of the schedule, so it is replayed ONCE here — with the walk's
+    exact left-to-right float additions, which makes every lookup
+    bit-identical to the walk it replaces (the walks survive as
+    ``PracticalDPM._walk_*`` and a lockstep test compares them) — and
+    each query is then a bisect plus O(1) arithmetic.
+    """
+
+    __slots__ = (
+        "bounds",
+        "start_ts",
+        "res_cursor",
+        "res_mode",
+        "res_power",
+        "res_prefix",
+        "res_pairs",
+        "res_ttime",
+        "res_tenergy",
+        "res_spinup_t",
+        "res_spinup_e",
+        "sh_start",
+        "sh_time",
+        "sh_energy",
+        "sh_end",
+        "sh_prefix",
+        "sh_pairs",
+        "sh_ttime",
+        "sh_tenergy",
+        "sh_spinup_t",
+        "sh_spinup_e",
+        "sh_ie_total",
+    )
+
+    def __init__(
+        self, model: PowerModel, start_mode: int, steps: list[_Step]
+    ) -> None:
+        first = model[start_mode]
+        #: segment boundaries [s1, e1, s2, e2, ...] for bisect lookup
+        self.bounds: list[float] = []
+        self.start_ts: list[float] = []
+        # residency segment j = after j completed downshifts
+        self.res_cursor = [0.0]
+        self.res_mode = [start_mode]
+        self.res_power = [first.power_w]
+        self.res_prefix = [0.0]
+        self.res_pairs: list[tuple[tuple[int, float], ...]] = [()]
+        self.res_ttime = [0.0]
+        self.res_tenergy = [0.0]
+        self.res_spinup_t = [first.spinup_time_s]
+        self.res_spinup_e = [first.spinup_energy_j]
+        # shift segment k = mid-downshift into rung k's mode
+        self.sh_start: list[float] = []
+        self.sh_time: list[float] = []
+        self.sh_energy: list[float] = []
+        self.sh_end: list[float] = []
+        self.sh_prefix: list[float] = []
+        self.sh_pairs: list[tuple[tuple[int, float], ...]] = []
+        self.sh_ttime: list[float] = []
+        self.sh_tenergy: list[float] = []
+        self.sh_spinup_t: list[float] = []
+        self.sh_spinup_e: list[float] = []
+        self.sh_ie_total: list[float] = []
+
+        energy = 0.0
+        ttime = 0.0
+        tenergy = 0.0
+        pairs: list[tuple[int, float]] = []
+        mode = start_mode
+        cursor = 0.0
+        for step in steps:
+            shift_time = model.downshift_time(mode, step.mode)
+            shift_energy = model.downshift_energy(mode, step.mode)
+            seconds = step.start_t - cursor
+            if seconds > 0:
+                energy += seconds * model[mode].power_w
+                pairs.append((mode, seconds))
+            up = model[step.mode]
+            shift_end = step.start_t + shift_time
+            self.sh_start.append(step.start_t)
+            self.sh_time.append(shift_time)
+            self.sh_energy.append(shift_energy)
+            self.sh_end.append(shift_end)
+            self.sh_prefix.append(energy)
+            self.sh_pairs.append(tuple(pairs))
+            self.sh_ttime.append(ttime)
+            self.sh_tenergy.append(tenergy)
+            self.sh_spinup_t.append(up.spinup_time_s)
+            self.sh_spinup_e.append(up.spinup_energy_j)
+            self.sh_ie_total.append((energy + shift_energy) + up.spinup_energy_j)
+            energy += shift_energy
+            ttime += shift_time
+            tenergy += shift_energy
+            mode = step.mode
+            cursor = shift_end
+            self.bounds.append(step.start_t)
+            self.bounds.append(shift_end)
+            self.start_ts.append(step.start_t)
+            self.res_cursor.append(cursor)
+            self.res_mode.append(mode)
+            self.res_power.append(model[mode].power_w)
+            self.res_prefix.append(energy)
+            self.res_pairs.append(tuple(pairs))
+            self.res_ttime.append(ttime)
+            self.res_tenergy.append(tenergy)
+            self.res_spinup_t.append(up.spinup_time_s)
+            self.res_spinup_e.append(up.spinup_energy_j)
+
+    def account_into(self, duration: float, wake: bool, account) -> float:
+        """Fold a gap of ``duration`` seconds straight into ``account``.
+
+        Equivalent to ``account.add_idle(self.outcome(duration, wake))``
+        — the lockstep test pins this bit for bit — but without
+        materializing the :class:`IdleOutcome` or its residency dict.
+        Returns the wake delay the next request must absorb.
+        """
+        bounds = self.bounds
+        idx = bisect_left(bounds, duration)
+        wake_delay = 0.0
+        wake_energy = 0.0
+        spinups = 0
+        if idx & 1:
+            if bounds[idx] == duration:
+                idx += 1
+                j = idx >> 1
+                seconds = duration - self.res_cursor[j]
+            else:
+                k = idx >> 1
+                start = self.sh_start[k]
+                shift_energy = self.sh_energy[k]
+                frac = (duration - start) / self.sh_time[k]
+                in_gap = shift_energy * frac
+                if wake:
+                    wake_delay = (
+                        self.sh_end[k] - duration
+                    ) + self.sh_spinup_t[k]
+                    wake_energy = (
+                        shift_energy * (1.0 - frac) + self.sh_spinup_e[k]
+                    )
+                    spinups = 1
+                items = self.sh_pairs[k]
+                energy = self.sh_prefix[k] + in_gap
+                t_time = self.sh_ttime[k] + (duration - start)
+                t_energy = self.sh_tenergy[k] + in_gap
+                spindowns = k + 1
+                return self._fold(
+                    account, items, energy, t_time, t_energy,
+                    wake_delay, wake_energy, spinups, spindowns,
+                )
+        else:
+            j = idx >> 1
+            seconds = duration - self.res_cursor[j]
+        energy = self.res_prefix[j]
+        items = self.res_pairs[j]
+        mode = self.res_mode[j]
+        if wake and mode != 0:
+            wake_delay = self.res_spinup_t[j]
+            wake_energy = self.res_spinup_e[j]
+            spinups = 1
+        if seconds > 0 and not items:
+            # single-residency gap: the common case once the quick-idle
+            # shortcut has absorbed the sub-threshold gaps
+            energy = energy + seconds * self.res_power[j]
+            mode_time = account.mode_time_s
+            mode_time[mode] = mode_time.get(mode, 0.0) + seconds
+            mode_energy = account.mode_energy_j
+            mode_energy[mode] = mode_energy.get(mode, 0.0) + (
+                energy - self.res_tenergy[j]
+            )
+            account.transition_time_s += self.res_ttime[j] + wake_delay
+            account.transition_energy_j += self.res_tenergy[j] + wake_energy
+            account.spinups += spinups
+            account.spindowns += j
+            return wake_delay
+        if seconds > 0:
+            energy = energy + seconds * self.res_power[j]
+            # the ladder never revisits a mode, so appending preserves
+            # the residency dict's insertion order
+            items = items + ((mode, seconds),)
+        return self._fold(
+            account, items, energy, self.res_ttime[j], self.res_tenergy[j],
+            wake_delay, wake_energy, spinups, j,
+        )
+
+    @staticmethod
+    def _fold(
+        account,
+        items,
+        energy,
+        t_time,
+        t_energy,
+        wake_delay,
+        wake_energy,
+        spinups,
+        spindowns,
+    ) -> float:
+        """Replay ``EnergyAccount.add_idle`` for a decomposed outcome.
+
+        ``items`` is the residency dict as ordered ``(mode, seconds)``
+        pairs; the float additions match ``add_idle`` exactly. Returns
+        ``wake_delay`` for the caller's convenience.
+        """
+        mode_time = account.mode_time_s
+        mode_energy = account.mode_energy_j
+        if len(items) == 1:
+            mode, seconds = items[0]
+            mode_time[mode] = mode_time.get(mode, 0.0) + seconds
+            mode_energy[mode] = mode_energy.get(mode, 0.0) + (
+                energy - t_energy
+            )
+        else:
+            for mode, seconds in items:
+                if seconds > 0:
+                    mode_time[mode] = mode_time.get(mode, 0.0) + seconds
+            residency_energy = energy - t_energy
+            total_res = 0.0
+            for _, seconds in items:
+                total_res += seconds
+            if total_res > 0:
+                for mode, seconds in items:
+                    mode_energy[mode] = mode_energy.get(
+                        mode, 0.0
+                    ) + residency_energy * (seconds / total_res)
+        account.transition_time_s += t_time + wake_delay
+        account.transition_energy_j += t_energy + wake_energy
+        account.spinups += spinups
+        account.spindowns += spindowns
+        return wake_delay
+
+    def outcome(self, duration: float, wake: bool) -> IdleOutcome:
+        """Fresh :class:`IdleOutcome` for a gap of ``duration`` seconds.
+
+        Always a new object — callers (the all-speed disk) mutate the
+        wake fields in place.
+        """
+        bounds = self.bounds
+        idx = bisect_left(bounds, duration)
+        if idx & 1:
+            if bounds[idx] == duration:
+                # the downshift completes exactly at the gap end:
+                # the walk treats this as the next residency segment
+                idx += 1
+            else:
+                k = idx >> 1
+                start = self.sh_start[k]
+                shift_energy = self.sh_energy[k]
+                frac = (duration - start) / self.sh_time[k]
+                in_gap = shift_energy * frac
+                out = IdleOutcome(
+                    energy_j=self.sh_prefix[k] + in_gap,
+                    mode_residency_s=dict(self.sh_pairs[k]),
+                    transition_time_s=self.sh_ttime[k] + (duration - start),
+                    transition_energy_j=self.sh_tenergy[k] + in_gap,
+                    spindowns=k + 1,
+                )
+                if wake:
+                    out.wake_delay_s = (
+                        self.sh_end[k] - duration
+                    ) + self.sh_spinup_t[k]
+                    out.wake_energy_j = (
+                        shift_energy * (1.0 - frac) + self.sh_spinup_e[k]
+                    )
+                    out.spinups = 1
+                return out
+        j = idx >> 1
+        seconds = duration - self.res_cursor[j]
+        energy = self.res_prefix[j]
+        residency = dict(self.res_pairs[j])
+        mode = self.res_mode[j]
+        if seconds > 0:
+            energy = energy + seconds * self.res_power[j]
+            # the ladder never revisits a mode, so plain assignment
+            residency[mode] = seconds
+        out = IdleOutcome(
+            energy_j=energy,
+            mode_residency_s=residency,
+            transition_time_s=self.res_ttime[j],
+            transition_energy_j=self.res_tenergy[j],
+            spindowns=j,
+        )
+        if wake and mode != 0:
+            out.wake_delay_s = self.res_spinup_t[j]
+            out.wake_energy_j = self.res_spinup_e[j]
+            out.spinups = 1
+        return out
+
+    def energy(self, duration: float) -> float:
+        """Gap + wake energy; mirrors the ``idle_energy`` walk."""
+        bounds = self.bounds
+        idx = bisect_left(bounds, duration)
+        if idx & 1:
+            if bounds[idx] == duration:
+                idx += 1
+            else:
+                return self.sh_ie_total[idx >> 1]
+        j = idx >> 1
+        e = (
+            self.res_prefix[j]
+            + (duration - self.res_cursor[j]) * self.res_power[j]
+        )
+        if self.res_mode[j] != 0:
+            e = e + self.res_spinup_e[j]
+        return e
+
+    def mode_after(self, elapsed: float) -> int:
+        """Mode occupied after ``elapsed`` idle seconds (target mode
+        while mid-transition)."""
+        return self.res_mode[bisect_left(self.start_ts, elapsed)]
+
+
 class PracticalDPM(DiskPowerManager):
     """Online threshold-based power management (Section 2.2).
 
@@ -211,6 +551,17 @@ class PracticalDPM(DiskPowerManager):
             thresholds = envelope.practical_thresholds()
         self.thresholds = list(thresholds)
         self._steps = self._build_schedule(self.thresholds)
+        self._table = _SegmentTable(self.model, 0, self._steps)
+        self._from_tables: dict[int, _SegmentTable] = {}
+        self._set_quick_idle()
+
+    def _set_quick_idle(self) -> None:
+        # Gaps ending at or before the first threshold never leave mode
+        # 0 (bisect_left lands on residency segment 0), so the disk's
+        # inline accounting applies.
+        bounds = self._table.bounds
+        self.quick_idle_limit = bounds[0] if bounds else float("inf")
+        self.quick_idle_power_w = self._table.res_power[0]
 
     def _build_schedule(self, thresholds: list[tuple[float, int]]) -> list[_Step]:
         steps: list[_Step] = []
@@ -240,6 +591,40 @@ class PracticalDPM(DiskPowerManager):
         return steps
 
     def process_idle(self, duration: float, wake: bool = True) -> IdleOutcome:
+        if duration < 0:
+            raise ValueError(f"idle duration must be >= 0, got {duration}")
+        return self._table.outcome(duration, wake)
+
+    def account_idle(self, duration: float, wake, account) -> float:
+        if duration < 0:
+            raise ValueError(f"idle duration must be >= 0, got {duration}")
+        return self._table.account_into(duration, wake, account)
+
+    def _refresh_tables(self) -> None:
+        """Rebuild the memo tables; subclasses that mutate the schedule
+        (adaptive thresholds) must call this after changing ``_steps``."""
+        self._table = _SegmentTable(self.model, 0, self._steps)
+        self._from_tables.clear()
+        self._set_quick_idle()
+
+    def _table_for(self, start_mode: int) -> _SegmentTable:
+        table = self._from_tables.get(start_mode)
+        if table is None:
+            steps = [s for s in self._steps if s.mode > start_mode]
+            table = _SegmentTable(self.model, start_mode, steps)
+            self._from_tables[start_mode] = table
+        return table
+
+    def _walk_process_idle(
+        self, duration: float, wake: bool = True
+    ) -> IdleOutcome:
+        """Reference implementation: the incremental schedule walk.
+
+        :meth:`process_idle` answers from the precomputed
+        :class:`_SegmentTable`; this walk is kept (and exercised by a
+        lockstep test) as the executable specification the table must
+        match bit-for-bit.
+        """
         if duration < 0:
             raise ValueError(f"idle duration must be >= 0, got {duration}")
         outcome = IdleOutcome()
@@ -295,6 +680,12 @@ class PracticalDPM(DiskPowerManager):
     def mode_after_idle(self, elapsed: float) -> int:
         if elapsed < 0:
             raise ValueError(f"elapsed must be >= 0, got {elapsed}")
+        return self._table.mode_after(elapsed)
+
+    def _walk_mode_after_idle(self, elapsed: float) -> int:
+        """Reference walk for :meth:`mode_after_idle`."""
+        if elapsed < 0:
+            raise ValueError(f"elapsed must be >= 0, got {elapsed}")
         mode = 0
         for step in self._steps:
             if elapsed <= step.start_t:
@@ -315,6 +706,17 @@ class PracticalDPM(DiskPowerManager):
         """
         if start_mode == 0:
             return self.process_idle(duration, wake=wake)
+        if duration < 0:
+            raise ValueError(f"idle duration must be >= 0, got {duration}")
+        return self._table_for(start_mode).outcome(duration, wake)
+
+    def _walk_process_idle_from(
+        self, start_mode: int, duration: float, wake: bool = True
+    ) -> IdleOutcome:
+        """Reference walk for :meth:`process_idle_from` (see
+        :meth:`_walk_process_idle`)."""
+        if start_mode == 0:
+            return self._walk_process_idle(duration, wake=wake)
         if duration < 0:
             raise ValueError(f"idle duration must be >= 0, got {duration}")
         outcome = IdleOutcome()
@@ -374,21 +776,23 @@ class PracticalDPM(DiskPowerManager):
     def mode_after_idle_from(self, start_mode: int, elapsed: float) -> int:
         """Mode occupied after ``elapsed`` idle seconds, starting at
         ``start_mode`` (see :meth:`process_idle_from`)."""
-        mode = start_mode
-        for step in self._steps:
-            if step.mode <= start_mode:
-                continue
-            if elapsed <= step.start_t:
-                break
-            mode = step.mode
-        return mode
+        if start_mode == 0:
+            return self._table.mode_after(elapsed)
+        return self._table_for(start_mode).mode_after(elapsed)
 
     def idle_energy(self, duration: float) -> float:
         """Closed-form gap+wake energy (hot path for OPG penalties).
 
-        Arithmetic mirror of :meth:`process_idle` — kept in lockstep by
-        a property test — without building an :class:`IdleOutcome`.
+        Answered from the precomputed segment table; bit-identical to
+        :meth:`process_idle`'s ``total_energy_j`` (lockstep test).
         """
+        if duration < 0:
+            raise ValueError(f"idle duration must be >= 0, got {duration}")
+        return self._table.energy(duration)
+
+    def _walk_idle_energy(self, duration: float) -> float:
+        """Reference walk for :meth:`idle_energy` (see
+        :meth:`_walk_process_idle`)."""
         if duration < 0:
             raise ValueError(f"idle duration must be >= 0, got {duration}")
         model = self.model

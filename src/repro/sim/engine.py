@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.cache.block import BlockState
 from repro.cache.cache import StorageCache
 from repro.cache.policies.base import OfflinePolicy, ReplacementPolicy
 from repro.cache.write.base import WritePolicy
@@ -28,12 +29,13 @@ from repro.core.prefetch import Prefetcher
 from repro.disk.array import DiskArray
 from repro.disk.disk import SimulatedDisk
 from repro.disk.multispeed import AllSpeedServiceDisk
-from repro.errors import ConfigurationError, TraceError
+from repro.errors import ConfigurationError, SimulationError, TraceError
 from repro.observe.events import RequestComplete, SimulationStart
 from repro.power.specs import build_power_model
 from repro.sim.config import SimulationConfig
 from repro.sim.results import DiskReport, ResponseStats, SimulationResult
-from repro.traces.record import IORequest, expand_accesses
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.record import IORequest, iter_accesses
 
 
 class StorageSimulator:
@@ -94,8 +96,16 @@ class StorageSimulator:
         self.cache = StorageCache(
             config.cache_capacity_blocks, policy, probe=probe
         )
+        # Skip the listener indirection entirely for policies that
+        # inherit the no-op hook (everything but the power-aware ones).
+        listener = (
+            None
+            if type(policy).note_disk_activity
+            is ReplacementPolicy.note_disk_activity
+            else policy.note_disk_activity
+        )
         self.write_policy.attach(
-            self.cache, self.array, activity_listener=policy.note_disk_activity
+            self.cache, self.array, activity_listener=listener
         )
         self.write_policy.set_probe(probe)
         classifier = getattr(policy, "classifier", None)
@@ -110,8 +120,14 @@ class StorageSimulator:
         if self._ran:
             raise TraceError("simulator instances are single-use")
         self._ran = True
+        columnar = isinstance(self.trace, ColumnarTrace)
         if isinstance(self.policy, OfflinePolicy):
-            self.policy.prepare(expand_accesses(self.trace))
+            accesses = (
+                self.trace.iter_accesses()
+                if columnar
+                else iter_accesses(self.trace)
+            )
+            self.policy.prepare(accesses)
         if self.probe is not None:
             start = self.trace[0].time if len(self.trace) else 0.0
             self.probe(
@@ -125,18 +141,286 @@ class StorageSimulator:
                 )
             )
 
-        previous_time = -1.0
-        last_time = 0.0
-        for req in self.trace:
-            if req.time < previous_time:
-                raise TraceError(
-                    f"trace not time-ordered at t={req.time} (< {previous_time})"
-                )
-            previous_time = last_time = req.time
-            self.handle_request(req)
+        if columnar:
+            last_time = self._run_columnar()
+        else:
+            previous_time = -1.0
+            last_time = 0.0
+            handle_request = self.handle_request
+            for req in self.trace:
+                if req.time < previous_time:
+                    raise TraceError(
+                        f"trace not time-ordered at t={req.time} "
+                        f"(< {previous_time})"
+                    )
+                previous_time = last_time = req.time
+                handle_request(req)
 
         end_time = last_time + self.config.trace_tail_s
         return self.finish(end_time)
+
+    def _run_columnar(self) -> float:
+        """The columnar hot loop; returns the last request time.
+
+        Mirrors :meth:`handle_request` exactly — same calls into the
+        cache, write policy, and disk array, in the same order — but
+        reads the trace straight out of the columns: no
+        :class:`IORequest` objects, per-request attribute lookups
+        hoisted into locals, and the single-block case (the paper's
+        workloads are block-granular) fully inlined.
+        """
+        trace: ColumnarTrace = self.trace
+        if len(trace) == 0:
+            return 0.0
+        bad = trace.first_disorder()
+        if bad is not None:
+            raise TraceError(
+                f"trace not time-ordered at t={float(trace.times[bad])} "
+                f"(< {float(trace.times[bad - 1])})"
+            )
+        times, disks, blocks, nblocks, writes = trace.as_lists()
+        if self.probe is None:
+            return self._run_columnar_fast(
+                times, disks, blocks, nblocks, writes
+            )
+
+        cache_access = self.cache.access
+        on_write = self.write_policy.on_write
+        on_evicted = self.write_policy.on_evicted
+        # Most write policies inherit the no-op after_read_wake; skip
+        # the call entirely in that case.
+        after_read_wake = (
+            None
+            if type(self.write_policy).after_read_wake
+            is WritePolicy.after_read_wake
+            else self.write_policy.after_read_wake
+        )
+        quick = [d.submit_quick for d in self.array.disks]
+        prefetcher = self.prefetcher
+        probe = self.probe
+        hit_latency = self.config.cache_hit_latency_s
+        append_response = self._responses.append
+        disk_reads = 0
+
+        time = 0.0
+        for time, disk, block, count, is_write in zip(
+            times, disks, blocks, nblocks, writes
+        ):
+            if count == 1:
+                key = (disk, block)
+                worst = hit_latency
+                outcome = cache_access(key, time, is_write)
+                if is_write:
+                    for victim, state in outcome.evicted:
+                        on_evicted(victim, state, time)
+                    latency = on_write(key, time)
+                    if latency > worst:
+                        worst = latency
+                elif not outcome.hit:
+                    latency, wake_delay = quick[disk](time, block, False)
+                    disk_reads += 1
+                    if latency > worst:
+                        worst = latency
+                    for victim, state in outcome.evicted:
+                        on_evicted(victim, state, time)
+                    if after_read_wake is not None:
+                        after_read_wake(disk, time, woke=wake_delay > 0)
+                    if prefetcher is not None:
+                        self._prefetch(key, wake_delay > 0, time)
+            else:
+                worst = hit_latency
+                for i in range(count):
+                    key = (disk, block + i)
+                    outcome = cache_access(key, time, is_write)
+                    latency = hit_latency
+                    if is_write:
+                        for victim, state in outcome.evicted:
+                            on_evicted(victim, state, time)
+                        write_latency = on_write(key, time)
+                        if write_latency > latency:
+                            latency = write_latency
+                    elif not outcome.hit:
+                        read_latency, wake_delay = quick[disk](
+                            time, block + i, False
+                        )
+                        disk_reads += 1
+                        if read_latency > latency:
+                            latency = read_latency
+                        for victim, state in outcome.evicted:
+                            on_evicted(victim, state, time)
+                        if after_read_wake is not None:
+                            after_read_wake(disk, time, woke=wake_delay > 0)
+                        if prefetcher is not None:
+                            self._prefetch(key, wake_delay > 0, time)
+                    if latency > worst:
+                        worst = latency
+            append_response(worst)
+            if probe is not None:
+                probe(RequestComplete(time, disk, worst, is_write, count))
+        self._disk_reads += disk_reads
+        return time
+
+    def _run_columnar_fast(self, times, disks, blocks_col, counts, writes):
+        """Probe-free columnar loop with the cache access path inlined.
+
+        Only runs when no event hook is attached (the traced loop above
+        keeps the full event stream). Performs exactly the operations of
+        ``StorageCache.access`` + the traced loop, in the same order;
+        the plain-counter statistics are kept in locals and folded into
+        ``CacheStats`` once at the end (integer addition commutes, and
+        nothing reads the counters mid-run). The columnar/legacy
+        equivalence tests pin the results bit for bit.
+        """
+        cache = self.cache
+        policy = self.policy
+        write_policy = self.write_policy
+        blocks = cache._blocks
+        blocks_get = blocks.get
+        blocks_pop = blocks.pop
+        stats = cache.stats
+        seen = stats._seen
+        make_room = cache._make_room
+        capacity = cache.capacity
+        dirty_get = cache._dirty_by_disk.get
+        on_access = policy.on_access
+        on_insert = policy.on_insert
+        policy_evict = policy.evict
+        on_write = write_policy.on_write
+        on_evicted = write_policy.on_evicted
+        after_read_wake = (
+            None
+            if type(write_policy).after_read_wake
+            is WritePolicy.after_read_wake
+            else write_policy.after_read_wake
+        )
+        quick = [d.submit_quick for d in self.array.disks]
+        prefetcher = self.prefetcher
+        hit_latency = self.config.cache_hit_latency_s
+        append_response = self._responses.append
+        block_state = BlockState
+        disk_reads = 0
+        n_acc = n_read = n_write = 0
+        n_hit = n_miss = n_cold = n_pf_hits = 0
+        n_evict = n_dirty_evict = 0
+
+        time = 0.0
+        for time, disk, block, count, is_write in zip(
+            times, disks, blocks_col, counts, writes
+        ):
+            if count == 1:
+                key = (disk, block)
+                n_acc += 1
+                if is_write:
+                    n_write += 1
+                else:
+                    n_read += 1
+                worst = hit_latency
+                state = blocks_get(key)
+                if state is not None:
+                    n_hit += 1
+                    on_access(key, time, True)
+                    if state.prefetched:
+                        state.prefetched = False
+                        n_pf_hits += 1
+                    if is_write:
+                        latency = on_write(key, time)
+                        if latency > worst:
+                            worst = latency
+                else:
+                    n_miss += 1
+                    if key not in seen:
+                        n_cold += 1
+                        seen.add(key)
+                    on_access(key, time, False)
+                    if capacity is not None and len(blocks) >= capacity:
+                        if (
+                            cache._pinned == 0
+                            and len(blocks) == capacity
+                            and len(policy)
+                        ):
+                            # _make_room's steady-state case inlined:
+                            # exactly one eviction, no pinned blocks
+                            victim = policy_evict(time)
+                            vstate = blocks_pop(victim, None)
+                            if vstate is None:
+                                raise SimulationError(
+                                    "policy evicted non-resident block "
+                                    f"{victim}"
+                                )
+                            n_evict += 1
+                            if vstate.dirty:
+                                n_dirty_evict += 1
+                                bucket = dirty_get(victim[0])
+                                if bucket is not None:
+                                    bucket.discard(victim)
+                            evicted = ((victim, vstate),)
+                        else:
+                            evicted = make_room(time)
+                    else:
+                        evicted = ()
+                    blocks[key] = block_state()
+                    on_insert(key, time)
+                    if is_write:
+                        for victim, vstate in evicted:
+                            on_evicted(victim, vstate, time)
+                        latency = on_write(key, time)
+                        if latency > worst:
+                            worst = latency
+                    else:
+                        latency, wake_delay = quick[disk](time, block, False)
+                        disk_reads += 1
+                        if latency > worst:
+                            worst = latency
+                        for victim, vstate in evicted:
+                            on_evicted(victim, vstate, time)
+                        if after_read_wake is not None:
+                            after_read_wake(disk, time, woke=wake_delay > 0)
+                        if prefetcher is not None:
+                            self._prefetch(key, wake_delay > 0, time)
+                append_response(worst)
+            else:
+                # Multi-block requests are rare; go through the cache's
+                # regular access path (its counters update CacheStats
+                # directly, which composes with the local counters).
+                cache_access = cache.access
+                worst = hit_latency
+                for i in range(count):
+                    key = (disk, block + i)
+                    outcome = cache_access(key, time, is_write)
+                    latency = hit_latency
+                    if is_write:
+                        for victim, vstate in outcome.evicted:
+                            on_evicted(victim, vstate, time)
+                        write_latency = on_write(key, time)
+                        if write_latency > latency:
+                            latency = write_latency
+                    elif not outcome.hit:
+                        read_latency, wake_delay = quick[disk](
+                            time, block + i, False
+                        )
+                        disk_reads += 1
+                        if read_latency > latency:
+                            latency = read_latency
+                        for victim, vstate in outcome.evicted:
+                            on_evicted(victim, vstate, time)
+                        if after_read_wake is not None:
+                            after_read_wake(disk, time, woke=wake_delay > 0)
+                        if prefetcher is not None:
+                            self._prefetch(key, wake_delay > 0, time)
+                    if latency > worst:
+                        worst = latency
+                append_response(worst)
+        stats.accesses += n_acc
+        stats.read_accesses += n_read
+        stats.write_accesses += n_write
+        stats.hits += n_hit
+        stats.misses += n_miss
+        stats.cold_misses += n_cold
+        stats.prefetch_hits += n_pf_hits
+        stats.evictions += n_evict
+        stats.dirty_evictions += n_dirty_evict
+        self._disk_reads += disk_reads
+        return time
 
     def handle_request(self, req: IORequest) -> float:
         """Process one request through cache, write policy, and disks.
@@ -169,7 +453,9 @@ class StorageSimulator:
                     req.disk, req.time, woke=response.wake_delay_s > 0
                 )
                 if self.prefetcher is not None:
-                    self._prefetch(key, response, req.time)
+                    self._prefetch(
+                        key, response.wake_delay_s > 0, req.time
+                    )
             if latency > worst:
                 worst = latency
         self._responses.append(worst)
@@ -186,7 +472,7 @@ class StorageSimulator:
         self.array.finalize(end_time)
         return self._build_result(self._responses, self._disk_reads, end_time)
 
-    def _prefetch(self, key, response, time: float) -> None:
+    def _prefetch(self, key, woke: bool, time: float) -> None:
         """Ride a demand read's disk activation with sequential blocks.
 
         The prefetch transfer queues behind the demand read (it cannot
@@ -198,7 +484,7 @@ class StorageSimulator:
         disk = self.array[disk_id]
         plan = self.prefetcher.plan(
             key,
-            woke_disk=response.wake_delay_s > 0,
+            woke_disk=woke,
             time=time,
             cache=self.cache,
             disk_blocks=disk.geometry.num_blocks,

@@ -11,27 +11,37 @@ parameterized generator used by the write-policy study lives in
 
 from repro.traces.arrivals import ExponentialArrivals, ParetoArrivals
 from repro.traces.cello import CelloTraceConfig, generate_cello_trace
+from repro.traces.columnar import ColumnarTrace, SharedTraceDescriptor, as_columnar
 from repro.traces.fingerprint import trace_fingerprint
 from repro.traces.locality import SpatialModel, ZipfStackModel
 from repro.traces.oltp import OLTPTraceConfig, generate_oltp_trace
-from repro.traces.record import IORequest, expand_accesses
+from repro.traces.record import IORequest, expand_accesses, iter_accesses
 from repro.traces.stats import TraceCharacteristics, characterize
-from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.traces.synthetic import (
+    SyntheticTraceConfig,
+    generate_synthetic_trace,
+    generate_synthetic_trace_columnar,
+)
 
 __all__ = [
     "CelloTraceConfig",
+    "ColumnarTrace",
     "ExponentialArrivals",
     "IORequest",
     "OLTPTraceConfig",
     "ParetoArrivals",
+    "SharedTraceDescriptor",
     "SpatialModel",
     "SyntheticTraceConfig",
     "TraceCharacteristics",
     "ZipfStackModel",
+    "as_columnar",
     "characterize",
     "expand_accesses",
     "generate_cello_trace",
     "generate_oltp_trace",
     "generate_synthetic_trace",
+    "generate_synthetic_trace_columnar",
+    "iter_accesses",
     "trace_fingerprint",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 from typing import Sequence
 
+from repro.traces.columnar import ColumnarTrace
 from repro.traces.record import IORequest
 
 #: Maximum number of interior records hashed exactly.
@@ -38,26 +39,76 @@ def _record_token(req: IORequest) -> bytes:
     return f"{req.time:.6f},{req.disk},{req.block},{req.nblocks},{op}".encode()
 
 
-def trace_fingerprint(trace: Sequence[IORequest]) -> str:
+def _columnar_aggregates(trace: ColumnarTrace):
+    """Vectorized aggregate pass for numpy-backed columnar traces.
+
+    uint64 arithmetic wraps modulo 2**64, which is exactly the
+    ``& _MASK`` reduction of the scalar loop; per-element ``int(t*1e6)``
+    is an ``astype(int64)`` truncation for the non-negative times a
+    valid trace carries. Returns ``None`` when the columns are not
+    numpy arrays (the ``array`` fallback), sending the caller down the
+    scalar loop.
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a soft dependency
+        return None
+    if not isinstance(trace.blocks, np.ndarray):
+        return None
+    n = len(trace)
+    positions = np.arange(1, n + 1, dtype=np.uint64)
+    one = np.uint64(1)
+    writes = int(trace.is_write.sum())
+    volume = int(trace.nblocks.sum())
+    block_sum = int(
+        (positions * (trace.blocks.astype(np.uint64) + one)).sum(
+            dtype=np.uint64
+        )
+    )
+    disk_sum = int(
+        (positions * (trace.disks.astype(np.uint64) + one)).sum(
+            dtype=np.uint64
+        )
+    )
+    time_sum_us = int(
+        (trace.times * 1e6).astype(np.int64).astype(np.uint64).sum(
+            dtype=np.uint64
+        )
+    )
+    return writes, volume, block_sum, disk_sum, time_sum_us
+
+
+def trace_fingerprint(trace: Sequence[IORequest] | ColumnarTrace) -> str:
     """Hex SHA-256 identity of a trace, cheap enough to always compute.
 
     The empty trace has a well-defined fingerprint. Fingerprints are
     order-sensitive: swapping two equal-time records changes the value.
+    Columnar traces produce the identical digest to their expanded
+    record form (the aggregates vectorize; the sampled records hash the
+    same bytes).
     """
     digest = hashlib.sha256()
     n = len(trace)
-    writes = 0
-    volume = 0
-    block_sum = 0
-    disk_sum = 0
-    time_sum_us = 0
-    for position, req in enumerate(trace, start=1):
-        weight = position & _MASK
-        writes += req.is_write
-        volume += req.nblocks
-        block_sum = (block_sum + weight * (req.block + 1)) & _MASK
-        disk_sum = (disk_sum + weight * (req.disk + 1)) & _MASK
-        time_sum_us = (time_sum_us + int(req.time * 1e6)) & _MASK
+    aggregates = (
+        _columnar_aggregates(trace)
+        if n and isinstance(trace, ColumnarTrace)
+        else None
+    )
+    if aggregates is not None:
+        writes, volume, block_sum, disk_sum, time_sum_us = aggregates
+    else:
+        writes = 0
+        volume = 0
+        block_sum = 0
+        disk_sum = 0
+        time_sum_us = 0
+        for position, req in enumerate(trace, start=1):
+            weight = position & _MASK
+            writes += req.is_write
+            volume += req.nblocks
+            block_sum = (block_sum + weight * (req.block + 1)) & _MASK
+            disk_sum = (disk_sum + weight * (req.disk + 1)) & _MASK
+            time_sum_us = (time_sum_us + int(req.time * 1e6)) & _MASK
     span = f"{trace[-1].time - trace[0].time:.6f}" if n else "0"
     digest.update(
         f"n={n};w={writes};v={volume};b={block_sum};"

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.traces.arrivals import make_arrivals
+from repro.traces.columnar import ColumnarTrace
 from repro.traces.locality import SpatialModel, ZipfStackModel
 from repro.traces.record import IORequest
 from repro.units import DEFAULT_BLOCK_SIZE, GIB
@@ -60,10 +61,14 @@ class SyntheticTraceConfig:
         return self.disk_size_bytes // self.block_size
 
 
-def generate_synthetic_trace(
-    config: SyntheticTraceConfig = SyntheticTraceConfig(),
-) -> list[IORequest]:
-    """Generate one Table 3 trace (deterministic given ``config.seed``)."""
+def _generate_columns(
+    config: SyntheticTraceConfig,
+) -> tuple[list[float], list[int], list[int], list[bool]]:
+    """The generation loop, shared by both trace representations.
+
+    Draw order is part of the trace's identity (fixtures pin traces by
+    seed), so both public generators must funnel through this one loop.
+    """
     rng = np.random.default_rng(config.seed)
     arrivals = make_arrivals(
         config.arrival_process,
@@ -84,22 +89,52 @@ def generate_synthetic_trace(
         zipf_a=config.zipf_a,
         max_depth=config.stack_depth,
     )
-    trace: list[IORequest] = []
+    next_gap = arrivals.next_gap
+    next_reuse = stack.next_key
+    push = stack.push
+    next_block = spatial.next_block
+    rng_random = rng.random
+    rng_integers = rng.integers
+    num_disks = config.num_disks
+    write_ratio = config.write_ratio
+    times: list[float] = []
+    disks: list[int] = []
+    blocks: list[int] = []
+    writes: list[bool] = []
     time = 0.0
     for _ in range(config.num_requests):
-        time += arrivals.next_gap()
-        key = stack.next_key()
+        time += next_gap()
+        key = next_reuse()
         if key is None:
-            disk = int(rng.integers(config.num_disks))
-            block = spatial.next_block(disk)
-            key = (disk, block)
-            stack.push(key)
-        trace.append(
-            IORequest(
-                time=time,
-                disk=key[0],
-                block=key[1],
-                is_write=bool(rng.random() < config.write_ratio),
-            )
-        )
-    return trace
+            disk = int(rng_integers(num_disks))
+            key = (disk, next_block(disk))
+            push(key)
+        times.append(time)
+        disks.append(key[0])
+        blocks.append(key[1])
+        writes.append(bool(rng_random() < write_ratio))
+    return times, disks, blocks, writes
+
+
+def generate_synthetic_trace(
+    config: SyntheticTraceConfig = SyntheticTraceConfig(),
+) -> list[IORequest]:
+    """Generate one Table 3 trace (deterministic given ``config.seed``)."""
+    times, disks, blocks, writes = _generate_columns(config)
+    return [
+        IORequest(time=t, disk=d, block=b, is_write=w)
+        for t, d, b, w in zip(times, disks, blocks, writes)
+    ]
+
+
+def generate_synthetic_trace_columnar(
+    config: SyntheticTraceConfig = SyntheticTraceConfig(),
+) -> ColumnarTrace:
+    """:func:`generate_synthetic_trace` straight into columns.
+
+    Same seed, same draws, same requests — without materializing an
+    :class:`IORequest` per row. This is the generator the benchmark
+    harness and campaigns use for large traces.
+    """
+    times, disks, blocks, writes = _generate_columns(config)
+    return ColumnarTrace(times, disks, blocks, [1] * len(times), writes)

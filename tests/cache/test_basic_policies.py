@@ -106,3 +106,67 @@ class TestClock:
         drive(policy, (0, 1))
         policy.on_remove((0, 1))
         assert len(policy) == 0
+
+
+class TestInteriorRemoval:
+    """The engine's fast loop pops victims out of the middle of the
+    structure (pinned-victim skips, explicit invalidation); FIFO and
+    CLOCK must handle interior removal without disturbing the order of
+    the remaining blocks."""
+
+    def test_fifo_interior_removal_keeps_order(self):
+        policy = FIFOPolicy()
+        for b in range(5):
+            drive(policy, (0, b))
+        policy.on_remove((0, 2))
+        assert [policy.evict(0.0) for _ in range(4)] == [
+            (0, 0), (0, 1), (0, 3), (0, 4)
+        ]
+
+    def test_clock_interior_removal_keeps_ring(self):
+        policy = ClockPolicy()
+        for b in range(5):
+            drive(policy, (0, b))
+        policy.on_access((0, 0), 1.0, hit=True)  # front gets a second chance
+        policy.on_remove((0, 2))
+        # sweep: 0 is referenced (rotates), 1 evicted; 2 already gone
+        assert policy.evict(2.0) == (0, 1)
+        assert policy.evict(3.0) == (0, 3)
+
+    def test_clock_removing_hand_front(self):
+        policy = ClockPolicy()
+        for b in range(3):
+            drive(policy, (0, b))
+        policy.on_remove((0, 0))  # the key under the hand
+        assert policy.evict(1.0) == (0, 1)
+
+    def test_remove_absent_key_is_noop(self):
+        for policy in (FIFOPolicy(), ClockPolicy()):
+            drive(policy, (0, 1))
+            policy.on_remove((9, 9))
+            assert len(policy) == 1
+
+
+class TestConstantTimeOperations:
+    """Coarse O(1) smoke: heavy interior-removal churn at 50k blocks.
+
+    A linear-scan structure (list.remove-style) needs ~1e9 element
+    shifts for this workload and blows far past the bound; the
+    OrderedDict-backed implementations finish in milliseconds.
+    """
+
+    @pytest.mark.parametrize("policy_cls", [FIFOPolicy, ClockPolicy])
+    def test_churn_stays_fast(self, policy_cls):
+        import time as _time
+
+        policy = policy_cls()
+        n = 50_000
+        start = _time.perf_counter()
+        for b in range(n):
+            drive(policy, (0, b))
+        # remove every other block from the interior, then drain
+        for b in range(0, n, 2):
+            policy.on_remove((0, b))
+        while len(policy):
+            policy.evict(0.0)
+        assert _time.perf_counter() - start < 5.0

@@ -21,7 +21,11 @@ from repro.campaign.store import ResultStore
 from repro.errors import CampaignError
 from repro.sim.runner import run_simulation
 from repro.sim.sweep import grid_sweep
-from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.traces.synthetic import (
+    SyntheticTraceConfig,
+    generate_synthetic_trace,
+    generate_synthetic_trace_columnar,
+)
 
 AXES = {
     "policy": ["lru", "fifo", "clock", "arc"],
@@ -98,6 +102,23 @@ class TestParallelMatchesSerial:
             num_disks=3, cache_blocks=32, workers=2,
         )
         assert parallel.records() == serial.records()
+
+    def test_shared_memory_columnar_fanout_identical(self):
+        """A columnar workload is published once into POSIX shared
+        memory and mapped by every worker; the results must be
+        bit-identical to the in-process serial loop."""
+        columnar = generate_synthetic_trace_columnar(
+            SyntheticTraceConfig(num_requests=2000, num_disks=3, seed=61)
+        )
+        tasks = policy_tasks(["lru", "fifo", "clock", "arc", "pa-lru", "opg"])
+        serial = run_points(tasks, trace=columnar, workers=1)
+        shared = run_points(tasks, trace=columnar, workers=2)
+        assert [o.task.params for o in shared] == [
+            o.task.params for o in serial
+        ]
+        for a, b in zip(shared, serial):
+            assert a.status == b.status == "ok"
+            assert a.result.to_dict() == b.result.to_dict()
 
 
 class TestResultCaching:

@@ -95,6 +95,95 @@ class TestZipfStackModel:
             ZipfStackModel(rng, reuse_probability=0.5, max_depth=0)
 
 
+class _NaiveStackModel:
+    """Reference LRU-stack model: plain list walk, O(depth) moves.
+
+    This is the structure ``ZipfStackModel`` replaced; it must stay
+    draw-for-draw identical so trace generation is reproducible across
+    the optimization.
+    """
+
+    def __init__(self, rng, reuse_probability, zipf_a=1.2, max_depth=1 << 16):
+        self.reuse_probability = reuse_probability
+        self.zipf_a = zipf_a
+        self.max_depth = max_depth
+        self._rng = rng
+        self._stack = []  # index -1 = MRU
+
+    def __len__(self):
+        return len(self._stack)
+
+    def next_key(self):
+        if not self._stack or self._rng.random() >= self.reuse_probability:
+            return None
+        depth = int(self._rng.zipf(self.zipf_a))
+        if depth > len(self._stack):
+            depth = len(self._stack)
+        key = self._stack[-depth]
+        if depth != 1:
+            del self._stack[-depth]
+            self._stack.append(key)
+        return key
+
+    def push(self, key):
+        if key in self._stack:
+            self._stack.remove(key)
+            self._stack.append(key)
+            return
+        self._stack.append(key)
+        if len(self._stack) > self.max_depth:
+            del self._stack[0]
+
+
+class TestFenwickEquivalence:
+    """The Fenwick-indexed stack must be draw-for-draw identical to the
+    naive list walk it replaced."""
+
+    @pytest.mark.parametrize("max_depth", [1 << 16, 37])
+    def test_lockstep_with_naive_reference(self, max_depth):
+        fast = ZipfStackModel(
+            np.random.default_rng(42), reuse_probability=0.75,
+            max_depth=max_depth,
+        )
+        naive = _NaiveStackModel(
+            np.random.default_rng(42), reuse_probability=0.75,
+            max_depth=max_depth,
+        )
+        driver = np.random.default_rng(99)
+        minted = 0
+        for step in range(4000):
+            a, b = fast.next_key(), naive.next_key()
+            assert a == b, f"step {step}: {a!r} != {b!r}"
+            if a is None:
+                # occasionally re-mint an existing address to exercise
+                # the collision path
+                if minted and driver.random() < 0.05:
+                    key = (0, int(driver.integers(minted)))
+                else:
+                    key = (0, minted)
+                    minted += 1
+                fast.push(key)
+                naive.push(key)
+            assert len(fast) == len(naive), f"step {step}"
+        # enough churn to have forced slot-array rebuilds
+        assert minted > 64
+
+    def test_small_depth_evictions_match(self):
+        fast = ZipfStackModel(
+            np.random.default_rng(7), reuse_probability=0.4, max_depth=5
+        )
+        naive = _NaiveStackModel(
+            np.random.default_rng(7), reuse_probability=0.4, max_depth=5
+        )
+        for i in range(500):
+            a, b = fast.next_key(), naive.next_key()
+            assert a == b
+            if a is None:
+                fast.push((0, i))
+                naive.push((0, i))
+        assert len(fast) == len(naive) == 5
+
+
 class TestZipfPopularity:
     def test_blocks_within_footprint(self):
         rng = np.random.default_rng(9)
