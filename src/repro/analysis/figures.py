@@ -15,7 +15,7 @@ from repro.core.energy_optimal import idle_energy_of, simulate_misses
 from repro.core.opg import OPGPolicy
 from repro.power.envelope import EnergyEnvelope
 from repro.power.modes import PowerModel
-from repro.power.specs import build_power_model, scale_spinup_cost
+from repro.power.specs import scale_spinup_cost
 from repro.sim.results import SimulationResult
 from repro.sim.runner import run_simulation
 from repro.traces.record import IORequest

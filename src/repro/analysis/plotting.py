@@ -29,7 +29,7 @@ def bar_chart(
     if not labels:
         return title
     peak = max(max(values), 0.0)
-    label_w = max(len(str(l)) for l in labels)
+    label_w = max(len(str(lab)) for lab in labels)
     lines = [title] if title else []
     for label, value in zip(labels, values):
         filled = round(width * value / peak) if peak > 0 else 0
@@ -65,7 +65,7 @@ def percent_bars(
     """Bars for values in [0, 1], scaled to a fixed 100% width."""
     if len(labels) != len(fractions):
         raise ValueError("labels and fractions must have equal length")
-    label_w = max((len(str(l)) for l in labels), default=0)
+    label_w = max((len(str(lab)) for lab in labels), default=0)
     lines = [title] if title else []
     for label, fraction in zip(labels, fractions):
         clamped = min(max(fraction, 0.0), 1.0)

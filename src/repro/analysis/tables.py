@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.units import KILO, MEGA
+
 
 def ascii_table(
     headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
@@ -29,13 +31,13 @@ def ascii_table(
     return "\n".join(parts)
 
 
-def format_joules(value: float) -> str:
+def format_joules(energy_j: float) -> str:
     """Joules with adaptive units (J / kJ / MJ)."""
-    if abs(value) >= 1e6:
-        return f"{value / 1e6:.2f} MJ"
-    if abs(value) >= 1e3:
-        return f"{value / 1e3:.1f} kJ"
-    return f"{value:.1f} J"
+    if abs(energy_j) >= MEGA:
+        return f"{energy_j / MEGA:.2f} MJ"
+    if abs(energy_j) >= KILO:
+        return f"{energy_j / KILO:.1f} kJ"
+    return f"{energy_j:.1f} J"
 
 
 def format_fraction(value: float) -> str:

@@ -107,8 +107,10 @@ class StorageCache:
         else:
             stats.read_accesses += 1
         if self.probe is not None:
-            event_cls = CacheHit if hit else CacheMiss
-            self.probe(event_cls(time, key[0], key[1], is_write))
+            if hit:
+                self.probe(CacheHit(time, key[0], key[1], is_write))
+            else:
+                self.probe(CacheMiss(time, key[0], key[1], is_write))
         self.policy.on_access(key, time, hit)
         if hit:
             stats.hits += 1

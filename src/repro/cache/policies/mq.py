@@ -22,7 +22,7 @@ from repro.cache.policies.base import ReplacementPolicy
 from repro.errors import ConfigurationError, PolicyError
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     frequency: int
     expire: int  # logical (access-count) expiry for demotion

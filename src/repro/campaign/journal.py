@@ -26,18 +26,51 @@ from repro.errors import CampaignError
 
 
 class RunJournal:
-    """Append-only JSONL writer, flushed per event."""
+    """Append-only JSONL writer, flushed per event.
+
+    Records carry two ordering fields: ``at`` (wall-clock seconds, for
+    humans correlating the journal with the outside world) and ``seq``
+    (a per-journal monotonic counter). ``at`` alone cannot order
+    records — two events inside the same clock tick (or across a clock
+    step) collide — so readers needing write order must sort on
+    ``seq``. When appending to an existing journal, ``seq`` resumes
+    after the file's largest value, keeping it unique per file.
+    """
 
     def __init__(self, path: str | Path, *, append: bool = False) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._seq = self._last_seq(self.path) if append else 0
         self._fh: TextIO | None = open(self.path, "a" if append else "w")
+
+    @staticmethod
+    def _last_seq(path: Path) -> int:
+        if not path.exists():
+            return 0
+        last = 0
+        with open(path) as fh:
+            for line in fh:
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # load_journal reports malformed lines
+                if isinstance(record, dict):
+                    seq = record.get("seq")
+                    if isinstance(seq, int) and seq > last:
+                        last = seq
+        return last
 
     def write(self, event: str, **fields: Any) -> None:
         """Emit one event line."""
         if self._fh is None:
             raise CampaignError(f"journal {self.path} already closed")
-        record = {"event": event, "at": round(time.time(), 3), **fields}
+        self._seq += 1
+        record = {
+            "event": event,
+            "at": round(time.time(), 3),
+            "seq": self._seq,
+            **fields,
+        }
         self._fh.write(json.dumps(record, sort_keys=True, default=repr) + "\n")
         self._fh.flush()
 

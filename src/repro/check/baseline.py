@@ -1,0 +1,102 @@
+"""The baseline (suppression) file.
+
+A baseline records findings that are accepted for now: ``repro check``
+subtracts them from its report, so the CI gate stays green while the
+debt remains visible and enumerable. Entries are keyed on
+``(rule, path, message)`` — no line numbers, so unrelated edits do not
+invalidate them — with a count per key so N accepted findings of the
+same shape suppress exactly N occurrences and the N+1st still fails.
+
+``repro check --update-baseline`` rewrites the file from the current
+findings; entries that no longer match anything are *stale* and
+reported (failing the run under ``--strict``) so the file can only
+shrink or be consciously regrown.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.check.finding import Finding
+from repro.errors import ReproError
+
+_VERSION = 1
+
+BaselineKey = tuple[str, str, str]
+
+
+class BaselineError(ReproError):
+    """The baseline file is missing or malformed."""
+
+
+class Baseline:
+    """Counted suppressions keyed on ``(rule, path, message)``."""
+
+    def __init__(self, counts: Counter[BaselineKey] | None = None) -> None:
+        self.counts: Counter[BaselineKey] = Counter(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(Counter(f.baseline_key for f in findings))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"malformed baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise BaselineError(
+                f"malformed baseline {path}: expected an object with "
+                "an 'entries' list"
+            )
+        counts: Counter[BaselineKey] = Counter()
+        for entry in data["entries"]:
+            try:
+                key = (entry["rule"], entry["path"], entry["message"])
+                count = int(entry.get("count", 1))
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"malformed baseline entry in {path}: {entry!r}"
+                ) from exc
+            counts[key] += count
+        return cls(counts)
+
+    def save(self, path: str | Path) -> None:
+        entries = [
+            {"rule": rule, "path": rel, "message": message, "count": count}
+            for (rule, rel, message), count in sorted(self.counts.items())
+        ]
+        payload = {"version": _VERSION, "entries": entries}
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def apply(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineKey]]:
+        """Split findings into (kept, suppressed); also return stale keys.
+
+        Findings are matched in sorted order so the split is
+        deterministic; each baseline count suppresses at most that many
+        occurrences of its key.
+        """
+        remaining = Counter(self.counts)
+        kept: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding in sorted(findings, key=lambda f: f.sort_key):
+            key = finding.baseline_key
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+        stale = sorted(key for key, count in remaining.items() if count > 0)
+        return kept, suppressed, stale

@@ -1,0 +1,143 @@
+"""Fast-path sync checker.
+
+The hot loops (``StorageSimulator._run_columnar_fast``,
+``SimulatedDisk.submit_quick``, the memoized DPM tables) inline the
+polymorphic engine path and are proven bit-identical to it by the
+equivalence tests — *for the concrete classes that existed when the
+audit ran*. A new ``ReplacementPolicy`` / ``WritePolicy`` /
+``DiskPowerManager`` subclass silently inherits the fast path without
+that proof.
+
+This checker closes the loop statically: :mod:`repro.sim.engine`
+declares a ``FAST_PATH_AUDITED`` registry mapping each gated base
+class to the frozenset of subclass names audited (or deliberately
+exempted); any subclass found in the scanned tree but missing from
+the registry is an error, and registry entries naming classes that no
+longer exist are warnings so the list cannot rot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.base import Checker, register
+from repro.check.finding import Finding, Severity
+from repro.check.project import ModuleInfo, Project
+
+GATE_REGISTRY_NAME = "FAST_PATH_AUDITED"
+
+
+def _string_elements(node: ast.expr) -> list[str] | None:
+    """The string members of a set/frozenset/tuple/list literal."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("frozenset", "set")
+            and len(node.args) == 1
+        ):
+            return _string_elements(node.args[0])
+        return None
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        out = []
+        for elt in node.elts:
+            if not (
+                isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ):
+                return None
+            out.append(elt.value)
+        return out
+    return None
+
+
+def _parse_registry(node: ast.expr) -> dict[str, list[str]] | None:
+    if not isinstance(node, ast.Dict):
+        return None
+    registry: dict[str, list[str]] = {}
+    for key, value in zip(node.keys, node.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        names = _string_elements(value)
+        if names is None:
+            return None
+        registry[key.value] = names
+    return registry
+
+
+def find_gate_registries(
+    project: Project,
+) -> list[tuple[ModuleInfo, ast.AST, dict[str, list[str]]]]:
+    """Every ``FAST_PATH_AUDITED`` assignment in the scanned tree."""
+    found = []
+    for module in project.modules:
+        for node in module.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == GATE_REGISTRY_NAME
+                ):
+                    registry = _parse_registry(value)
+                    if registry is not None:
+                        found.append((module, node, registry))
+    return found
+
+
+@register
+class FastPathChecker(Checker):
+    rule = "fastpath"
+    description = (
+        "concrete policy/DPM subclasses missing from the "
+        "FAST_PATH_AUDITED registry in sim/engine.py"
+    )
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        # Project-wide rule: evaluate it once, anchored to the module(s)
+        # declaring the registry.
+        registries = [
+            (mod, node, reg)
+            for mod, node, reg in find_gate_registries(project)
+            if mod is module
+        ]
+        for gate_module, gate_node, registry in registries:
+            known = {info.name for info in project.iter_classes()}
+            for base, audited in registry.items():
+                audited_set = set(audited)
+                for info in project.subclasses_of(base):
+                    if info.name in audited_set:
+                        continue
+                    yield self.finding(
+                        info.module,
+                        info.node,
+                        f"class {info.name} subclasses {base} but is "
+                        f"not listed in {GATE_REGISTRY_NAME} "
+                        f"({gate_module.relpath}); audit it for "
+                        "bit-identity with the inlined fast paths "
+                        "(run `repro bench --check`) and add it, or "
+                        "exempt it there with a comment",
+                    )
+                for name in sorted(audited_set - known):
+                    yield self.finding(
+                        gate_module,
+                        gate_node,
+                        f"{GATE_REGISTRY_NAME}[{base!r}] lists "
+                        f"{name!r} but no such class exists in the "
+                        "scanned tree; remove the stale entry",
+                        severity=Severity.WARNING,
+                    )
+                if not project.classes_named(base):
+                    yield self.finding(
+                        gate_module,
+                        gate_node,
+                        f"{GATE_REGISTRY_NAME} gates unknown base "
+                        f"class {base!r}",
+                        severity=Severity.WARNING,
+                    )

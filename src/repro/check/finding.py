@@ -1,0 +1,59 @@
+"""The finding record every checker produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+
+class Severity(str, Enum):
+    """How seriously a finding is taken.
+
+    ``ERROR`` findings always fail the run; ``WARNING`` findings fail
+    it only under ``--strict``.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used by the baseline file.
+
+        Deliberately line-independent so unrelated edits that shift a
+        suppressed finding up or down do not invalidate the baseline.
+        """
+        return (self.rule, self.path, self.message)
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.value}[{self.rule}] {self.message}"
+        )

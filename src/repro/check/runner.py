@@ -1,0 +1,211 @@
+"""Orchestration: run checkers over a tree, apply pragmas + baseline.
+
+:func:`run_check` is the library entry point; :func:`main` backs the
+``repro check`` CLI subcommand (see :mod:`repro.cli`).
+
+Exit codes: ``0`` clean, ``1`` findings (errors by default; warnings
+and stale baseline entries too under ``--strict``), ``2`` usage or
+I/O errors (raised as :class:`~repro.errors.ReproError` and rendered
+by the CLI).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.check.base import CHECKERS
+from repro.check.baseline import Baseline, BaselineKey
+from repro.check.finding import Finding, Severity
+from repro.check.project import Project
+from repro.errors import ReproError
+
+DEFAULT_BASELINE = Path("checks") / "baseline.json"
+
+
+@dataclass(slots=True)
+class Report:
+    """Outcome of one ``repro check`` run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[BaselineKey] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def failed(self, strict: bool = False) -> bool:
+        if strict:
+            return bool(self.findings or self.stale_baseline)
+        return bool(self.errors)
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.files_checked} files",
+            f"{len(self.errors)} errors",
+            f"{len(self.warnings)} warnings",
+        ]
+        if self.baselined:
+            parts.append(f"{len(self.baselined)} baselined")
+        if self.suppressed:
+            parts.append(f"{len(self.suppressed)} pragma-ignored")
+        if self.stale_baseline:
+            parts.append(f"{len(self.stale_baseline)} stale baseline entries")
+        return ", ".join(parts)
+
+
+def run_check(
+    paths: Sequence[str | Path],
+    *,
+    base: str | Path | None = None,
+    baseline: Baseline | None = None,
+    select: Iterable[str] | None = None,
+) -> Report:
+    """Run the (selected) checkers over ``paths``.
+
+    Args:
+        paths: Files and/or directories to scan (one parsed project —
+            cross-module rules see everything together).
+        base: Root findings' paths are made relative to (default: cwd).
+        baseline: Accepted findings to subtract from the report.
+        select: Rule ids to run (default: all registered).
+    """
+    rules = list(select) if select is not None else sorted(CHECKERS)
+    unknown = [r for r in rules if r not in CHECKERS]
+    if unknown:
+        raise ReproError(
+            f"unknown rule(s) {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(CHECKERS))}"
+        )
+    project = Project(list(paths), base=base)
+    checkers = [CHECKERS[rule]() for rule in rules]
+
+    raw: list[Finding] = []
+    suppressed: list[Finding] = []
+    for module in project.modules:
+        for checker in checkers:
+            for finding in checker.check(module, project):
+                if module.is_ignored(finding.line, finding.rule):
+                    suppressed.append(finding)
+                else:
+                    raw.append(finding)
+
+    report = Report(
+        suppressed=suppressed, files_checked=len(project.modules)
+    )
+    if baseline is not None:
+        kept, baselined, stale = baseline.apply(raw)
+        report.findings = kept
+        report.baselined = baselined
+        report.stale_baseline = stale
+    else:
+        report.findings = sorted(raw, key=lambda f: f.sort_key)
+    return report
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def add_arguments(parser) -> None:
+    """Populate the ``repro check`` subparser (called from repro.cli)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files/directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file (default {DEFAULT_BASELINE} if it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report accepted findings too)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings "
+        "and exit 0",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings and stale baseline entries, not just "
+        "errors",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="run only this rule (repeatable); default: all "
+        f"({', '.join(sorted(CHECKERS))})",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _resolve_baseline_path(args) -> Path | None:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    return DEFAULT_BASELINE if DEFAULT_BASELINE.exists() else None
+
+
+def main(args) -> int:
+    if args.list_rules:
+        for rule in sorted(CHECKERS):
+            print(f"{rule:12s} {CHECKERS[rule].description}")
+        return 0
+
+    baseline_path = _resolve_baseline_path(args)
+    if args.update_baseline:
+        report = run_check(args.paths, select=args.select)
+        path = (
+            Path(args.baseline)
+            if args.baseline is not None
+            else DEFAULT_BASELINE
+        )
+        Baseline.from_findings(report.findings).save(path)
+        print(
+            f"wrote {len(report.findings)} accepted finding(s) to {path}"
+        )
+        return 0
+
+    baseline = (
+        Baseline.load(baseline_path) if baseline_path is not None else None
+    )
+    report = run_check(args.paths, baseline=baseline, select=args.select)
+
+    if args.format == "json":
+        payload = {
+            "findings": [f.to_dict() for f in report.findings],
+            "baselined": len(report.baselined),
+            "pragma_ignored": len(report.suppressed),
+            "stale_baseline": [list(key) for key in report.stale_baseline],
+            "files_checked": report.files_checked,
+            "failed": report.failed(strict=args.strict),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        for rule, path, message in report.stale_baseline:
+            print(
+                f"{path}: stale[{rule}] baseline entry no longer "
+                f"matches anything: {message}",
+                file=sys.stderr,
+            )
+        print(f"repro check: {report.summary()}")
+    return 1 if report.failed(strict=args.strict) else 0

@@ -1,0 +1,149 @@
+"""Units checker.
+
+The library keeps all quantities in fixed base units (seconds, joules,
+watts, bytes — see :mod:`repro.units`) precisely so conversions happen
+in one greppable place. Two bug classes defeat that:
+
+* **Raw conversion literals** — ``latency_s * 1000`` or
+  ``energy_j / 1e3`` works today but hides the dimension change;
+  when someone later "fixes" the factor the drift is invisible.
+  Any multiply/divide by a magic conversion factor on a value whose
+  name carries a unit hint must go through a named constant
+  (``units.MS_PER_S``, ``units.KILO``, ...) instead.
+* **Mixed-dimension arithmetic** — adding a ``*_s`` value to a ``*_j``
+  value is dimensionally meaningless. Inferred from the naming
+  convention in the :mod:`repro.units` docstring (``_s``/``_ms``/
+  ``_us`` time, ``_j``/``_kj`` energy, ``_w`` power, ``_bytes`` size).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.check.base import Checker, register
+from repro.check.finding import Finding
+from repro.check.project import ModuleInfo, Project
+
+#: Conversion factors that should be named constants. (Powers of two
+#: are excluded: block/sector math legitimately uses raw 2**n.)
+_SUSPECT_FACTORS = frozenset(
+    {1000.0, 0.001, 1e6, 1e-6, 1e9, 1e-9, 60.0, 3600.0}
+)
+
+#: A name that plausibly carries a physical dimension.
+_UNIT_HINT = re.compile(
+    r"(^|_)(time|times|duration|latency|gap|interval|elapsed|delay|"
+    r"resp|response|energy|power|joule|watt|wall)($|_)"
+    r"|_(s|ms|us|ns|j|kj|w|mw)$"
+)
+
+#: Suffix -> dimension, for the mixed-dimension rule.
+_DIMENSIONS = {
+    "_s": "time", "_ms": "time", "_us": "time", "_ns": "time",
+    "_j": "energy", "_kj": "energy",
+    "_w": "power", "_mw": "power",
+    "_bytes": "size", "_blocks": "size",
+}
+
+#: Modules that *define* the conversions are allowed raw factors.
+_UNIT_DEFINING_BASENAMES = frozenset({"units.py"})
+
+
+def _literal_factor(node: ast.expr) -> float | None:
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool):
+        value = abs(float(node.value))
+        if value in _SUSPECT_FACTORS:
+            return float(node.value)
+    return None
+
+
+def _unit_hinted_names(node: ast.expr) -> list[str]:
+    names: list[str] = []
+    for sub in ast.walk(node):
+        ident = None
+        if isinstance(sub, ast.Name):
+            ident = sub.id
+        elif isinstance(sub, ast.Attribute):
+            ident = sub.attr
+        if ident is not None and _UNIT_HINT.search(ident):
+            names.append(ident)
+    return names
+
+
+def _dimension_of(node: ast.expr) -> str | None:
+    ident = None
+    if isinstance(node, ast.Name):
+        ident = node.id
+    elif isinstance(node, ast.Attribute):
+        ident = node.attr
+    if ident is None:
+        return None
+    for suffix, dimension in _DIMENSIONS.items():
+        if ident.endswith(suffix):
+            return dimension
+    return None
+
+
+@register
+class UnitsChecker(Checker):
+    rule = "units"
+    description = (
+        "raw unit-conversion literals bypassing repro.units, and "
+        "mixed-dimension +/- arithmetic"
+    )
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        if module.basename in _UNIT_DEFINING_BASENAMES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if isinstance(node.op, (ast.Mult, ast.Div)):
+                yield from self._check_factor(module, node)
+            elif isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._check_dimensions(module, node)
+
+    def _check_factor(
+        self, module: ModuleInfo, node: ast.BinOp
+    ) -> Iterator[Finding]:
+        for literal, other in (
+            (node.left, node.right),
+            (node.right, node.left),
+        ):
+            factor = _literal_factor(literal)
+            if factor is None:
+                continue
+            hinted = _unit_hinted_names(other)
+            if hinted:
+                op = "*" if isinstance(node.op, ast.Mult) else "/"
+                yield self.finding(
+                    module,
+                    node,
+                    f"raw conversion factor `{op} {literal.value!r}` on "
+                    f"unit-bearing value {hinted[0]!r}; use a named "
+                    "constant from repro.units (MS_PER_S, US_PER_S, "
+                    "KILO, MINUTE, ...) so the dimension change is "
+                    "greppable",
+                )
+            return  # one report per binop
+        return
+
+    def _check_dimensions(
+        self, module: ModuleInfo, node: ast.BinOp
+    ) -> Iterator[Finding]:
+        left = _dimension_of(node.left)
+        right = _dimension_of(node.right)
+        if left is not None and right is not None and left != right:
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            yield self.finding(
+                module,
+                node,
+                f"mixed dimensions: {left} `{op}` {right} (names "
+                "suggest incompatible base units; see repro.units)",
+            )

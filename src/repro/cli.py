@@ -32,6 +32,7 @@ from repro.traces.io import load_trace, save_trace
 from repro.traces.oltp import OLTPTraceConfig, generate_oltp_trace
 from repro.traces.stats import characterize
 from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.units import KILO, MINUTE, MS_PER_S
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -157,6 +158,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "as trace_metrics in each record",
     )
 
+    check = sub.add_parser(
+        "check",
+        help="run the domain static-analysis pass (reprolint) over the "
+        "source tree (see repro.check)",
+    )
+    from repro.check.runner import add_arguments as add_check_arguments
+
+    add_check_arguments(check)
+
     bench = sub.add_parser(
         "bench",
         help="time the simulator hot paths and write BENCH_hotpath.json "
@@ -248,7 +258,7 @@ def _cmd_generate(args) -> int:
     print(f"wrote {stats.requests:,} requests to {args.output}")
     print(
         f"  disks={stats.disks} writes={stats.write_fraction:.0%} "
-        f"mean gap={stats.mean_interarrival_s * 1000:.2f} ms "
+        f"mean gap={stats.mean_interarrival_s * MS_PER_S:.2f} ms "
         f"duration={stats.duration_s:.0f} s"
     )
     return 0
@@ -280,7 +290,7 @@ def _cmd_simulate(args) -> int:
         print(
             f"  trace: {total_events:,} events "
             f"({len(m['events'])} kinds); "
-            f"streamed energy={m['total_energy_j'] / 1e3:.1f} kJ; "
+            f"streamed energy={m['total_energy_j'] / KILO:.1f} kJ; "
             f"spinups={m['spinups']} spindowns={m['spindowns']}"
         )
     if args.trace_file is not None:
@@ -307,9 +317,9 @@ def _cmd_compare(args) -> int:
     rows = [
         [
             policy,
-            f"{r.total_energy_j / 1e3:.1f}",
+            f"{r.total_energy_j / KILO:.1f}",
             f"{r.energy_relative_to(base):.3f}",
-            f"{r.response.mean_s * 1000:.1f}",
+            f"{r.response.mean_s * MS_PER_S:.1f}",
             f"{r.hit_ratio:.1%}",
             r.spinups,
         ]
@@ -349,7 +359,7 @@ def _cmd_reproduce(args) -> int:
 
     print(
         f"Figure 6(a) — OLTP energy normalized to LRU "
-        f"({duration / 60:.0f}-minute trace, Practical DPM)"
+        f"({duration / MINUTE:.0f}-minute trace, Practical DPM)"
     )
     trace = generate_oltp_trace(OLTPTraceConfig(duration_s=duration))
     policies = ("infinite", "belady", "opg", "lru", "pa-lru")
@@ -446,7 +456,7 @@ def _cmd_campaign(args) -> int:
         best = sweep.best("energy_j")
         print(
             f"best energy point: {best.params} -> "
-            f"{best.result.total_energy_j / 1e3:.1f} kJ"
+            f"{best.result.total_energy_j / KILO:.1f} kJ"
         )
     return 0
 
@@ -457,6 +467,12 @@ def _cmd_bench(args) -> int:
     return bench_main(args)
 
 
+def _cmd_check(args) -> int:
+    from repro.check.runner import main as check_main
+
+    return check_main(args)
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "generate": _cmd_generate,
@@ -465,6 +481,7 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "campaign": _cmd_campaign,
     "bench": _cmd_bench,
+    "check": _cmd_check,
 }
 
 

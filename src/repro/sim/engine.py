@@ -37,6 +37,50 @@ from repro.sim.results import DiskReport, ResponseStats, SimulationResult
 from repro.traces.columnar import ColumnarTrace
 from repro.traces.record import IORequest, iter_accesses
 
+#: Fast-path audit registry, enforced statically by ``repro check``'s
+#: ``fastpath`` rule: every concrete subclass of the gated base classes
+#: found anywhere in ``src/repro`` must be listed here. Listing a class
+#: asserts it has been audited for bit-identity between the inlined
+#: fast paths (``_run_columnar_fast`` below, ``SimulatedDisk.
+#: submit_quick``, the memoized DPM tables) and the polymorphic loop —
+#: i.e. the columnar/legacy equivalence tests and ``repro bench
+#: --check`` cover it. When you add a subclass, run those, then add its
+#: name; the checker fails the build until you do.
+FAST_PATH_AUDITED: dict[str, frozenset[str]] = {
+    "ReplacementPolicy": frozenset(
+        {
+            # Abstract intermediate (prepare() contract only).
+            "OfflinePolicy",
+            "LRUPolicy",
+            "FIFOPolicy",
+            "ClockPolicy",
+            "ARCPolicy",
+            "MQPolicy",
+            "LIRSPolicy",
+            "BeladyPolicy",
+            "OPGPolicy",
+            "PowerAwarePolicy",
+        }
+    ),
+    "WritePolicy": frozenset(
+        {
+            "WriteBackPolicy",
+            "WriteThroughPolicy",
+            "WBEUPolicy",
+            "WTDUPolicy",
+            "PeriodicFlushPolicy",
+        }
+    ),
+    "DiskPowerManager": frozenset(
+        {
+            "AlwaysOnDPM",
+            "OracleDPM",
+            "PracticalDPM",
+            "AdaptiveThresholdDPM",
+        }
+    ),
+}
+
 
 class StorageSimulator:
     """One complete simulation run.

@@ -7,6 +7,7 @@ from dataclasses import asdict, dataclass, fields
 import numpy as np
 
 from repro.power.accounting import EnergyAccount
+from repro.units import KILO, MS_PER_S
 
 
 @dataclass(frozen=True)
@@ -164,13 +165,13 @@ class SimulationResult:
         r = self.response
         return (
             f"{self.label} [{self.dpm} DPM]: "
-            f"energy={self.total_energy_j / 1e3:.1f} kJ "
-            f"(disks {self.disk_energy_j / 1e3:.1f}, log "
-            f"{self.log_energy_j / 1e3:.1f}); "
+            f"energy={self.total_energy_j / KILO:.1f} kJ "
+            f"(disks {self.disk_energy_j / KILO:.1f}, log "
+            f"{self.log_energy_j / KILO:.1f}); "
             f"hit ratio={self.hit_ratio:.1%} "
             f"(cold {self.cold_miss_fraction:.1%}); "
-            f"mean response={r.mean_s * 1e3:.2f} ms "
-            f"(p95 {r.p95_s * 1e3:.2f} ms); "
+            f"mean response={r.mean_s * MS_PER_S:.2f} ms "
+            f"(p95 {r.p95_s * MS_PER_S:.2f} ms); "
             f"spinups={self.spinups}; "
             f"disk I/O={self.disk_reads}R/{self.disk_writes}W"
         )

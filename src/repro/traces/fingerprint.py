@@ -26,6 +26,7 @@ from typing import Sequence
 
 from repro.traces.columnar import ColumnarTrace
 from repro.traces.record import IORequest
+from repro.units import US_PER_S
 
 #: Maximum number of interior records hashed exactly.
 SAMPLE_LIMIT = 64
@@ -71,7 +72,7 @@ def _columnar_aggregates(trace: ColumnarTrace):
         )
     )
     time_sum_us = int(
-        (trace.times * 1e6).astype(np.int64).astype(np.uint64).sum(
+        (trace.times * US_PER_S).astype(np.int64).astype(np.uint64).sum(
             dtype=np.uint64
         )
     )
@@ -108,7 +109,7 @@ def trace_fingerprint(trace: Sequence[IORequest] | ColumnarTrace) -> str:
             volume += req.nblocks
             block_sum = (block_sum + weight * (req.block + 1)) & _MASK
             disk_sum = (disk_sum + weight * (req.disk + 1)) & _MASK
-            time_sum_us = (time_sum_us + int(req.time * 1e6)) & _MASK
+            time_sum_us = (time_sum_us + int(req.time * US_PER_S)) & _MASK
     span = f"{trace[-1].time - trace[0].time:.6f}" if n else "0"
     digest.update(
         f"n={n};w={writes};v={volume};b={block_sum};"

@@ -8,6 +8,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.traces.record import IORequest
+from repro.units import MS_PER_S
 
 
 @dataclass(frozen=True)
@@ -26,7 +27,7 @@ class TraceCharacteristics:
         """Render one Table 2 style row."""
         return (
             f"{name:10s} {self.disks:5d} {self.write_fraction:7.0%} "
-            f"{self.mean_interarrival_s * 1000:10.2f}ms "
+            f"{self.mean_interarrival_s * MS_PER_S:10.2f}ms "
             f"{self.requests:9d} {self.cold_fraction:7.0%}"
         )
 

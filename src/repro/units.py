@@ -28,12 +28,27 @@ DEFAULT_BLOCK_SIZE = 8 * KIB
 #: Sector size assumed by the disk geometry model.
 SECTOR_SIZE = 512
 
+# --- scale prefixes -------------------------------------------------------
+
+#: Decimal prefixes for *display* conversions (J -> kJ/MJ, req/s ->
+#: kreq/s). Divide a base-unit value by these; never fold the raw
+#: literal into call sites (the ``units`` checker flags that).
+KILO = 1e3
+MEGA = 1e6
+
 # --- time -----------------------------------------------------------------
 
 MS = 1e-3
 US = 1e-6
 MINUTE = 60.0
 HOUR = 3600.0
+
+#: Sub-second counts per second, for displaying/quantizing seconds as
+#: milli/microseconds: ``value_s * MS_PER_S``. Kept distinct from
+#: dividing by :data:`MS`/:data:`US` so existing call sites keep their
+#: exact floating-point operation (bit-identical results).
+MS_PER_S = 1000.0
+US_PER_S = 1e6
 
 #: Tolerance used when comparing simulation timestamps for equality.
 TIME_EPS = 1e-9

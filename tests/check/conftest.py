@@ -1,0 +1,20 @@
+"""Shared helpers for the reprolint tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.runner import run_check
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def check_fixture():
+    """Run (selected) checkers over one fixture file, return the Report."""
+
+    def _run(name, *, select=None):
+        return run_check([FIXTURES / name], base=FIXTURES, select=select)
+
+    return _run

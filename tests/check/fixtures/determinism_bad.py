@@ -1,0 +1,25 @@
+"""Seeded violations for the determinism rule (never imported)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def draw():
+    a = random.random()            # hidden global RNG
+    b = np.random.uniform(0, 1)    # legacy numpy global RNG
+    rng = np.random.default_rng()  # seedable constructor, no seed
+    r = random.Random()            # seedable constructor, no seed
+    return a, b, rng, r
+
+
+def stamp():
+    return time.time()  # wall clock outside journaling code
+
+
+def walk(blocks):
+    out = []
+    for block in {1, 2, 3}:  # set-literal iteration order is arbitrary
+        out.append(block)
+    return out + [b for b in set(blocks)]

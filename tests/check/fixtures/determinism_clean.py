@@ -1,0 +1,20 @@
+"""Idiomatic counterpart: everything here is deterministic."""
+
+import random
+import time
+
+import numpy as np
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)
+    r = random.Random(seed)
+    return rng.uniform(0, 1), r.random()
+
+
+def measure():
+    return time.perf_counter()  # measurement, not simulation state
+
+
+def walk(blocks):
+    return [b for b in sorted(set(blocks))]

@@ -1,0 +1,22 @@
+"""Seeded violations for the events rule (never imported)."""
+
+
+class Event:
+    pass
+
+
+class SeenEvent(Event):
+    pass
+
+
+class DeadEvent(Event):  # never constructed anywhere -> coverage warning
+    pass
+
+
+class NotAnEvent:
+    pass
+
+
+def run(bus, t):
+    bus.probe(SeenEvent())
+    bus.probe(NotAnEvent())  # emitting a non-Event payload -> error

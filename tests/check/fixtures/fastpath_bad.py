@@ -1,0 +1,19 @@
+"""Seeded violations for the fastpath rule (never imported)."""
+
+
+class BadBase:
+    pass
+
+
+class AuditedImpl(BadBase):
+    pass
+
+
+class RogueImpl(BadBase):  # subclass missing from the registry -> error
+    pass
+
+
+FAST_PATH_AUDITED = {
+    # "GhostImpl" no longer exists -> stale-entry warning
+    "BadBase": frozenset({"AuditedImpl", "GhostImpl"}),
+}

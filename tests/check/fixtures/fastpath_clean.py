@@ -1,0 +1,18 @@
+"""Idiomatic counterpart: the registry enumerates every subclass."""
+
+
+class CleanBase:
+    pass
+
+
+class FirstImpl(CleanBase):
+    pass
+
+
+class SecondImpl(FirstImpl):  # transitive subclasses count too
+    pass
+
+
+FAST_PATH_AUDITED = {
+    "CleanBase": frozenset({"FirstImpl", "SecondImpl"}),
+}

@@ -1,0 +1,15 @@
+"""Pragma behavior: same violation with and without suppression."""
+
+import time
+
+
+def suppressed():
+    return time.time()  # repro: ignore[determinism]
+
+
+def bare_suppressed():
+    return time.time()  # repro: ignore
+
+
+def reported():
+    return time.time()

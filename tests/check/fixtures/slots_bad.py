@@ -1,0 +1,19 @@
+"""Seeded violations for the slots rule (never imported)."""
+
+
+class Loose:  # no __slots__
+    def __init__(self, block):
+        self.block = block
+
+
+def handle_request(block):  # hot by name
+    return Loose(block)
+
+
+def access(blocks):  # hot by name; exercises the local-alias path
+    cls = Loose
+    return [cls(b) for b in blocks]
+
+
+def custom_loop(blocks):  # repro: hot
+    return [Loose(b) for b in blocks]

@@ -1,0 +1,32 @@
+"""Idiomatic counterpart: hot-loop classes declare __slots__."""
+
+from dataclasses import dataclass
+
+
+class Packed:
+    __slots__ = ("block",)
+
+    def __init__(self, block):
+        self.block = block
+
+
+@dataclass(slots=True)
+class Entry:
+    block: int
+
+
+class HotPathError(Exception):  # exceptions are exempt: raising is slow-path
+    pass
+
+
+def handle_request(block):
+    if block < 0:
+        raise HotPathError(block)
+    return Packed(block), Entry(block)
+
+
+def cold_helper(block):
+    class Scratch:  # not a hot function: no finding
+        pass
+
+    return Scratch()

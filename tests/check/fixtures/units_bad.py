@@ -1,0 +1,11 @@
+"""Seeded violations for the units rule (never imported)."""
+
+
+def render(latency_s, energy_j):
+    ms = latency_s * 1000      # raw conversion factor on a unit name
+    kj = energy_j / 1e3        # same, spelled scientifically
+    return ms, kj
+
+
+def confused(idle_s, idle_j):
+    return idle_s + idle_j     # time + energy is dimensionally meaningless

@@ -1,0 +1,15 @@
+"""Idiomatic counterpart: conversions go through named constants."""
+
+MS_PER_S = None  # stands in for repro.units.MS_PER_S
+KILO = None
+
+
+def render(latency_s, energy_j):
+    ms = latency_s * MS_PER_S
+    kj = energy_j / KILO
+    return ms, kj
+
+
+def fine(idle_s, busy_s, count):
+    total_s = idle_s + busy_s  # same dimension: fine
+    return total_s, count * 1000  # factor on a unit-less name: fine

@@ -1,0 +1,114 @@
+"""Each rule fires on its seeded fixture and not on the clean twin.
+
+The fixtures under ``fixtures/`` are parsed, never imported — see
+``fixtures/README.md``.
+"""
+
+from repro.check.finding import Severity
+
+
+def _messages(findings):
+    return "\n".join(f.message for f in findings)
+
+
+class TestDeterminism:
+    def test_fires_on_seeded_violations(self, check_fixture):
+        report = check_fixture("determinism_bad.py", select=["determinism"])
+        msgs = _messages(report.findings)
+        assert "random.random()" in msgs
+        assert "np.random.uniform()" in msgs
+        assert "numpy.random.default_rng() without a seed" in msgs
+        assert "random.Random() without a seed" in msgs
+        assert "time.time() reads the wall clock" in msgs
+        # the two set iterations are warnings, everything else errors
+        assert len(report.warnings) == 2
+        assert len(report.errors) == 5
+
+    def test_silent_on_clean_twin(self, check_fixture):
+        report = check_fixture("determinism_clean.py", select=["determinism"])
+        assert report.findings == []
+
+    def test_findings_carry_location(self, check_fixture):
+        report = check_fixture("determinism_bad.py", select=["determinism"])
+        f = report.errors[0]
+        assert f.path == "determinism_bad.py"
+        assert f.line > 0
+        assert f.rule == "determinism"
+        rendered = f.render()
+        assert rendered.startswith(f"determinism_bad.py:{f.line}:")
+        assert "[determinism]" in rendered
+
+
+class TestUnits:
+    def test_fires_on_seeded_violations(self, check_fixture):
+        report = check_fixture("units_bad.py", select=["units"])
+        msgs = _messages(report.findings)
+        assert "`* 1000`" in msgs and "'latency_s'" in msgs
+        assert "`/ 1000.0`" in msgs and "'energy_j'" in msgs
+        assert "mixed dimensions: time `+` energy" in msgs
+        assert len(report.errors) == 3
+
+    def test_silent_on_clean_twin(self, check_fixture):
+        report = check_fixture("units_clean.py", select=["units"])
+        assert report.findings == []
+
+
+class TestFastPath:
+    def test_fires_on_seeded_violations(self, check_fixture):
+        report = check_fixture("fastpath_bad.py", select=["fastpath"])
+        msgs = _messages(report.errors)
+        assert "RogueImpl subclasses BadBase" in msgs
+        assert "FAST_PATH_AUDITED" in msgs
+        stale = _messages(report.warnings)
+        assert "'GhostImpl'" in stale and "stale" in stale
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+
+    def test_silent_on_clean_twin(self, check_fixture):
+        # SecondImpl is only a *transitive* subclass of CleanBase; the
+        # registry still has to (and does) list it.
+        report = check_fixture("fastpath_clean.py", select=["fastpath"])
+        assert report.findings == []
+
+
+class TestEvents:
+    def test_fires_on_seeded_violations(self, check_fixture):
+        report = check_fixture("events_bad.py", select=["events"])
+        msgs = _messages(report.errors)
+        assert "probe() called with NotAnEvent(...)" in msgs
+        dead = _messages(report.warnings)
+        assert "DeadEvent is never constructed" in dead
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+
+    def test_silent_on_clean_twin(self, check_fixture):
+        report = check_fixture("events_clean.py", select=["events"])
+        assert report.findings == []
+
+
+class TestSlots:
+    def test_fires_on_seeded_violations(self, check_fixture):
+        report = check_fixture("slots_bad.py", select=["slots"])
+        msgs = _messages(report.errors)
+        # one report per hot function: by name, via a local alias, and
+        # via the `# repro: hot` pragma
+        assert "hot function 'handle_request'" in msgs
+        assert "hot function 'access'" in msgs
+        assert "hot function 'custom_loop'" in msgs
+        assert all("Loose" in f.message for f in report.errors)
+        assert len(report.errors) == 3
+
+    def test_silent_on_clean_twin(self, check_fixture):
+        report = check_fixture("slots_clean.py", select=["slots"])
+        assert report.findings == []
+
+
+def test_every_rule_registered():
+    from repro.check.base import CHECKERS
+
+    assert set(CHECKERS) == {
+        "determinism", "units", "fastpath", "events", "slots"
+    }
+    for rule, cls in CHECKERS.items():
+        assert cls.rule == rule
+        assert cls.description

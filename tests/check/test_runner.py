@@ -1,0 +1,185 @@
+"""Runner mechanics: pragmas, the baseline file, CLI formats and codes."""
+
+import json
+
+import pytest
+
+from repro.check.baseline import Baseline, BaselineError
+from repro.check.runner import run_check
+from repro.cli import main as cli_main
+from repro.errors import ReproError
+
+from .conftest import FIXTURES
+
+
+class TestPragmas:
+    def test_ignore_suppresses_only_its_line(self, check_fixture):
+        report = check_fixture("pragma_mixed.py", select=["determinism"])
+        # one rule-scoped ignore, one bare ignore, one live violation
+        assert len(report.suppressed) == 2
+        assert len(report.findings) == 1
+        live = report.findings[0]
+        suppressed_lines = {f.line for f in report.suppressed}
+        assert live.line not in suppressed_lines
+
+    def test_hot_pragma_reaches_slots_checker(self, check_fixture):
+        report = check_fixture("slots_bad.py", select=["slots"])
+        assert any(
+            "custom_loop" in f.message for f in report.findings
+        )
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_exactly(self, tmp_path, check_fixture):
+        raw = check_fixture("units_bad.py", select=["units"])
+        assert raw.findings
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(raw.findings).save(path)
+
+        report = run_check(
+            [FIXTURES / "units_bad.py"],
+            base=FIXTURES,
+            baseline=Baseline.load(path),
+            select=["units"],
+        )
+        assert report.findings == []
+        assert len(report.baselined) == len(raw.findings)
+        assert report.stale_baseline == []
+        assert not report.failed(strict=True)
+
+    def test_counted_entries_let_the_extra_occurrence_through(
+        self, check_fixture
+    ):
+        raw = check_fixture("units_bad.py", select=["units"])
+        # keep one fewer occurrence of the first key than really exists
+        short = Baseline.from_findings(raw.findings[:-1])
+        kept, suppressed, stale = short.apply(raw.findings)
+        assert len(suppressed) == len(raw.findings) - 1
+        assert len(kept) == 1
+        assert stale == []
+
+    def test_stale_entries_reported_and_fail_strict(self, check_fixture):
+        raw = check_fixture("units_clean.py", select=["units"])
+        ghost = Baseline.from_findings(
+            check_fixture("units_bad.py", select=["units"]).findings
+        )
+        kept, suppressed, stale = ghost.apply(raw.findings)
+        assert kept == [] and suppressed == []
+        assert stale  # entries matching nothing any more
+        report = run_check(
+            [FIXTURES / "units_clean.py"],
+            base=FIXTURES,
+            baseline=ghost,
+            select=["units"],
+        )
+        assert not report.failed(strict=False)
+        assert report.failed(strict=True)
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+
+class TestRunner:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ReproError, match="unknown rule"):
+            run_check([FIXTURES / "units_bad.py"], select=["no-such-rule"])
+
+    def test_strict_promotes_warnings(self, check_fixture):
+        report = check_fixture("determinism_bad.py", select=["determinism"])
+        warn_only = [f for f in report.findings if f in report.warnings]
+        assert warn_only
+        assert report.failed(strict=True)
+
+    def test_summary_mentions_counts(self, check_fixture):
+        report = check_fixture("determinism_bad.py", select=["determinism"])
+        summary = report.summary()
+        assert "1 files" in summary
+        assert "5 errors" in summary
+        assert "2 warnings" in summary
+
+
+class TestCli:
+    def test_text_format_and_exit_code(self, capsys):
+        rc = cli_main(
+            [
+                "check",
+                str(FIXTURES / "units_bad.py"),
+                "--no-baseline",
+                "--select", "units",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "error[units]" in out
+        assert "repro check:" in out
+
+    def test_json_format(self, capsys):
+        rc = cli_main(
+            [
+                "check",
+                str(FIXTURES / "units_bad.py"),
+                "--no-baseline",
+                "--format", "json",
+                "--select", "units",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["failed"] is True
+        assert payload["files_checked"] == 1
+        assert {f["rule"] for f in payload["findings"]} == {"units"}
+        first = payload["findings"][0]
+        assert {"rule", "severity", "path", "line", "col", "message"} <= set(
+            first
+        )
+
+    def test_clean_file_exits_zero(self, capsys):
+        rc = cli_main(
+            [
+                "check",
+                str(FIXTURES / "units_clean.py"),
+                "--no-baseline",
+                "--strict",
+                "--select", "units",
+            ]
+        )
+        assert rc == 0
+        assert "0 errors, 0 warnings" in capsys.readouterr().out
+
+    def test_update_baseline_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        rc = cli_main(
+            [
+                "check",
+                str(FIXTURES / "units_bad.py"),
+                "--baseline", str(path),
+                "--update-baseline",
+                "--select", "units",
+            ]
+        )
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert len(data["entries"]) == 3
+        # a second run against the fresh baseline is green, even strict
+        rc = cli_main(
+            [
+                "check",
+                str(FIXTURES / "units_bad.py"),
+                "--baseline", str(path),
+                "--strict",
+                "--select", "units",
+            ]
+        )
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_list_rules(self, capsys):
+        rc = cli_main(["check", "--list-rules"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for rule in ("determinism", "units", "fastpath", "events", "slots"):
+            assert rule in out

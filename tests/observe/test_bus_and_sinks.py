@@ -115,7 +115,7 @@ class TestJSONLSink:
             "disk": 0, "block": 10, "is_write": False,
         }
         # every kind tag written is a registered event type
-        assert all(json.loads(l)["kind"] in EVENT_TYPES for l in lines)
+        assert all(json.loads(ln)["kind"] in EVENT_TYPES for ln in lines)
 
     def test_piggybacks_on_a_campaign_journal(self, tmp_path):
         journal = RunJournal(tmp_path / "journal.jsonl")

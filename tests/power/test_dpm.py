@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.power.dpm import AlwaysOnDPM, OracleDPM, PracticalDPM
+from repro.power.dpm import PracticalDPM
 
 
 class TestAlwaysOn:

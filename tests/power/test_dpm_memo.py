@@ -14,7 +14,7 @@ import pytest
 
 from repro.power.accounting import EnergyAccount
 from repro.power.adaptive import AdaptiveThresholdDPM
-from repro.power.dpm import AlwaysOnDPM, IdleOutcome, PracticalDPM
+from repro.power.dpm import IdleOutcome, PracticalDPM
 
 
 def _probe_durations(dpm: PracticalDPM) -> list[float]:

@@ -12,7 +12,7 @@ class TestAsciiTable:
     def test_alignment(self):
         table = ascii_table(["a", "long"], [[1, 2], [333, 4]])
         lines = table.splitlines()
-        assert len({len(l) for l in lines if l} | {0}) <= 3
+        assert len({len(ln) for ln in lines if ln} | {0}) <= 3
         assert "333" in table
 
     def test_title(self):
