@@ -59,13 +59,21 @@ class WTDUPolicy(WritePolicy):
         self._require_attached()
         disk_id = key[0]
         if self._pinned_pressure():
-            # Drain the disk holding the most deferred data.
-            victim_disk = max(
-                (d.disk_id for d in self.array.disks),
-                key=self.cache.dirty_count,
-            )
-            self.forced_flushes += 1
-            self._flush_disk(victim_disk, time)
+            # Drain the disk holding the most deferred data. Only disks
+            # with logged blocks are candidates: flushing a clean disk
+            # would spin nothing down in pressure and (worse) bump its
+            # empty log region's epoch. Pressure without any dirty disk
+            # means the pins belong to another policy's bookkeeping —
+            # nothing for us to drain.
+            candidates = [
+                d.disk_id
+                for d in self.array.disks
+                if self.cache.dirty_count(d.disk_id)
+            ]
+            if candidates:
+                victim_disk = max(candidates, key=self.cache.dirty_count)
+                self.forced_flushes += 1
+                self._flush_disk(victim_disk, time)
         if self.array[disk_id].is_parked(time):
             if self.log.region_full(disk_id):
                 # Region exhausted: pay the spin-up, drain, then log anew.
@@ -87,11 +95,19 @@ class WTDUPolicy(WritePolicy):
             self._flush_disk(disk_id, time)
 
     def _flush_disk(self, disk_id: int, time: float) -> None:
-        """Write all logged blocks home and retire the log epoch."""
+        """Write all logged blocks home and retire the log epoch.
+
+        An empty region is left alone: flushing it would bump the
+        timestamp for no reason, and a timestamp that only advances on
+        non-empty flushes keeps the epoch a faithful count of real
+        drain events (recovery correctness does not depend on it, but
+        the observability/accounting does).
+        """
         for key in self.cache.dirty_blocks(disk_id):
             self._write_to_disk(key, time)
             self.cache.mark_clean(key)
-        self.log.flush(disk_id, time)
+        if self.log.regions[disk_id].used:
+            self.log.flush(disk_id, time)
 
     def pending_dirty(self) -> int:
         self._require_attached()

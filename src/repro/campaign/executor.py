@@ -32,6 +32,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
@@ -52,6 +53,16 @@ PointFn = Callable[..., SimulationResult]
 #: Worker id recorded for points the parent served from the store.
 PARENT_WORKER = -1
 
+#: Consecutive worker deaths (pool-wide, reset by any clean reply)
+#: after which the parallel path concludes the environment is hostile
+#: to subprocesses and falls back to serial execution in the parent.
+SERIAL_FALLBACK_DEATHS = 3
+
+#: Times one point may take its worker down before it is settled as
+#: failed rather than requeued (a point that reliably kills workers
+#: would otherwise starve the pool).
+MAX_DEATHS_PER_TASK = 2
+
 
 @dataclass(frozen=True)
 class PointTask:
@@ -70,18 +81,39 @@ class RetryPolicy:
     """Per-point fault policy.
 
     ``timeout_s`` is enforced only in parallel mode (enforcing it
-    serially would require killing our own process); ``retries`` is the
-    number of *additional* attempts after the first.
+    serially would require killing our own process; serial campaigns
+    that set it get a ``RuntimeWarning`` and a journal entry instead of
+    silence); ``retries`` is the number of *additional* attempts after
+    the first. ``backoff_s`` spaces retries out exponentially: retry
+    ``n`` (1-based) waits ``backoff_s * 2**(n-1)`` seconds, capped at
+    ``backoff_max_s``; 0 (the default) retries immediately. Worker
+    *deaths* are not charged against ``retries`` — a crashed process
+    says nothing about the point, so the point is requeued (up to
+    :data:`MAX_DEATHS_PER_TASK` deaths) with its retry budget intact.
     """
 
     timeout_s: float | None = None
     retries: int = 0
+    backoff_s: float = 0.0
+    backoff_max_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise CampaignError(f"timeout_s must be > 0, got {self.timeout_s}")
         if self.retries < 0:
             raise CampaignError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_s < 0:
+            raise CampaignError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_max_s <= 0:
+            raise CampaignError(
+                f"backoff_max_s must be > 0, got {self.backoff_max_s}"
+            )
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), in seconds."""
+        if self.backoff_s <= 0.0:
+            return 0.0
+        return min(self.backoff_s * (2.0 ** (attempt - 1)), self.backoff_max_s)
 
 
 @dataclass
@@ -204,6 +236,7 @@ class _Attempt:
     task: PointTask
     worker: _Worker
     tries: int  # attempts already failed before this one
+    deaths: int = 0  # workers this point has taken down so far
     started: float = field(default_factory=time.perf_counter)
 
     def deadline(self, timeout_s: float | None) -> float | None:
@@ -248,6 +281,15 @@ def run_points(
     if workers < 1:
         raise CampaignError(f"workers must be >= 1, got {workers}")
     retry = retry or RetryPolicy()
+    if workers == 1 and retry.timeout_s is not None:
+        message = (
+            f"RetryPolicy.timeout_s={retry.timeout_s} is only enforced in "
+            "parallel mode (workers > 1); this serial campaign cannot time "
+            "points out"
+        )
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+        if journal is not None:
+            journal.write("warning", message=message)
 
     outcomes: dict[int, PointOutcome] = {}
     pending: list[PointTask] = []
@@ -299,7 +341,8 @@ def run_points(
         _run_serial(pending, trace, point_fn, retry, on_error, key_of, finalize)
     else:
         _run_parallel(
-            pending, trace, point_fn, workers, retry, on_error, key_of, finalize
+            pending, trace, point_fn, workers, retry, on_error, key_of,
+            finalize, journal,
         )
 
     return [outcomes[task.index] for task in tasks]
@@ -321,6 +364,9 @@ def _run_serial(pending, trace, point_fn, retry, on_error, key_of, finalize):
             except Exception as exc:
                 if tries < retry.retries:
                     tries += 1
+                    delay = retry.retry_delay(tries)
+                    if delay > 0.0:
+                        time.sleep(delay)
                     continue
                 if on_error == "raise":
                     raise
@@ -349,27 +395,37 @@ def _run_serial(pending, trace, point_fn, retry, on_error, key_of, finalize):
             break
 
 
-def _run_parallel(pending, trace, point_fn, workers, retry, on_error, key_of, finalize):
-    """Fan pending points out over a pool of worker processes."""
+def _run_parallel(
+    pending, trace, point_fn, workers, retry, on_error, key_of, finalize,
+    journal=None,
+):
+    """Fan pending points out over a pool of worker processes.
+
+    Queue entries are ``(task, tries, deaths, not_before)``: ``tries``
+    counts genuine point failures (charged against the retry budget),
+    ``deaths`` counts workers the point took down (charged against
+    :data:`MAX_DEATHS_PER_TASK` instead), and ``not_before`` is the
+    earliest monotonic instant the entry may be dispatched (retry
+    backoff). When :data:`SERIAL_FALLBACK_DEATHS` workers die in a row
+    without a single clean reply, the pool is abandoned — everything
+    still unfinished runs serially in the parent, where a death would
+    at least be *our* crash and therefore debuggable.
+    """
     ctx = multiprocessing.get_context()
     pool_size = min(workers, len(pending))
     if pool_size == 0:
         return
-    # Ship a fixed columnar workload through shared memory: every
-    # worker (and every respawn) maps the same buffers instead of
-    # receiving its own pickled copy of the trace.
     worker_trace = trace
     shm = None
-    if isinstance(trace, ColumnarTrace):
-        try:
-            worker_trace, shm = trace.share()
-        except (ImportError, OSError, ValueError):
-            worker_trace = trace  # no shared memory here: pickle as before
-    pool = [_Worker(ctx, i, worker_trace, point_fn) for i in range(pool_size)]
-    idle: deque[_Worker] = deque(pool)
-    queue: deque[tuple[PointTask, int]] = deque((t, 0) for t in pending)
+    pool: list[_Worker] = []
+    idle: deque[_Worker] = deque()
+    queue: deque[tuple[PointTask, int, int, float]] = deque(
+        (t, 0, 0, 0.0) for t in pending
+    )
     inflight: dict[int, _Attempt] = {}  # worker id -> attempt
     failures: list[PointOutcome] = []
+    consecutive_deaths = 0
+    fallback: list[tuple[PointTask, int]] | None = None
 
     def respawn(worker: _Worker) -> _Worker:
         worker.kill()
@@ -384,7 +440,9 @@ def _run_parallel(pending, trace, point_fn, workers, retry, on_error, key_of, fi
 
     def retry_or_settle(attempt: _Attempt, status: str, error: str) -> None:
         if attempt.tries < retry.retries:
-            queue.appendleft((attempt.task, attempt.tries + 1))
+            tries = attempt.tries + 1
+            not_before = time.perf_counter() + retry.retry_delay(tries)
+            queue.appendleft((attempt.task, tries, attempt.deaths, not_before))
         else:
             settle(
                 PointOutcome(
@@ -398,28 +456,65 @@ def _run_parallel(pending, trace, point_fn, workers, retry, on_error, key_of, fi
                 ),
             )
 
+    def next_ready() -> tuple[PointTask, int, int, float] | None:
+        """Pop the first queue entry whose backoff has elapsed."""
+        now = time.perf_counter()
+        for _ in range(len(queue)):
+            entry = queue.popleft()
+            if entry[3] <= now:
+                return entry
+            queue.append(entry)
+        return None
+
+    # Everything that allocates external resources — the shared-memory
+    # segment and the worker processes — happens inside the try, so a
+    # KeyboardInterrupt or spawn failure at any point still unlinks the
+    # segment and reaps whatever part of the pool exists.
     try:
+        # Ship a fixed columnar workload through shared memory: every
+        # worker (and every respawn) maps the same buffers instead of
+        # receiving its own pickled copy of the trace.
+        if isinstance(trace, ColumnarTrace):
+            try:
+                worker_trace, shm = trace.share()
+            except (ImportError, OSError, ValueError):
+                worker_trace = trace  # no shared memory here: pickle as before
+        for i in range(pool_size):
+            pool.append(_Worker(ctx, i, worker_trace, point_fn))
+        idle.extend(pool)
+
         while queue or inflight:
             while queue and idle:
-                task, tries = queue.popleft()
+                entry = next_ready()
+                if entry is None:
+                    break
+                task, tries, deaths, _ = entry
                 worker = idle.popleft()
                 worker.submit(task)
-                inflight[worker.id] = _Attempt(task, worker, tries)
+                inflight[worker.id] = _Attempt(task, worker, tries, deaths)
 
             now = time.perf_counter()
-            deadlines = [
-                a.deadline(retry.timeout_s)
+            waits = [
+                a.deadline(retry.timeout_s) - now
                 for a in inflight.values()
                 if a.deadline(retry.timeout_s) is not None
             ]
-            wait_for = None
-            if deadlines:
-                wait_for = max(0.0, min(deadlines) - now)
+            if queue and idle:
+                # everything queued is backing off: wake when the
+                # soonest entry becomes dispatchable
+                waits.append(min(entry[3] for entry in queue) - now)
+            wait_for = max(0.0, min(waits)) if waits else None
+            if not inflight:
+                if wait_for:
+                    time.sleep(wait_for)
+                continue
             ready = connection_wait(
                 [a.worker.conn for a in inflight.values()], timeout=wait_for
             )
 
             for conn in ready:
+                if fallback is not None:
+                    break  # pool abandoned mid-drain
                 attempt = next(
                     a for a in inflight.values() if a.worker.conn is conn
                 )
@@ -427,13 +522,56 @@ def _run_parallel(pending, trace, point_fn, workers, retry, on_error, key_of, fi
                 try:
                     _index, status, payload, elapsed = conn.recv()
                 except (EOFError, OSError):
-                    # worker died mid-point (crash, OOM-kill, ...)
+                    # worker died mid-point (crash, OOM-kill, ...); the
+                    # death says nothing about the point, so requeue it
+                    # without touching its retry budget — unless this
+                    # point keeps killing workers.
                     del inflight[worker.id]
+                    consecutive_deaths += 1
+                    deaths = attempt.deaths + 1
+                    if consecutive_deaths >= SERIAL_FALLBACK_DEATHS:
+                        # The whole environment is killing workers, not
+                        # this point: rescue everything unfinished (this
+                        # point included) for the serial pass.
+                        worker.kill()
+                        fallback = sorted(
+                            [(t, tr) for t, tr, _, _ in queue]
+                            + [(attempt.task, attempt.tries)]
+                            + [
+                                (a.task, a.tries)
+                                for a in inflight.values()
+                            ],
+                            key=lambda item: item[0].index,
+                        )
+                        queue.clear()
+                        inflight.clear()
+                        continue
+                    if deaths >= MAX_DEATHS_PER_TASK:
+                        settle(
+                            PointOutcome(
+                                task=attempt.task,
+                                status="failed",
+                                wall_time_s=(
+                                    time.perf_counter() - attempt.started
+                                ),
+                                worker=worker.id,
+                                retries=attempt.tries,
+                                key=key_of(attempt.task),
+                                error=(
+                                    f"worker process died {deaths} times "
+                                    "on this point"
+                                ),
+                            ),
+                        )
+                    else:
+                        queue.appendleft(
+                            (attempt.task, attempt.tries, deaths, 0.0)
+                        )
                     idle.append(respawn(worker))
-                    retry_or_settle(attempt, "failed", "worker process died")
                     continue
                 del inflight[worker.id]
                 idle.append(worker)
+                consecutive_deaths = 0
                 if status == "ok":
                     settle(
                         PointOutcome(
@@ -448,6 +586,8 @@ def _run_parallel(pending, trace, point_fn, workers, retry, on_error, key_of, fi
                     )
                 else:
                     retry_or_settle(attempt, "failed", payload)
+            if fallback is not None:
+                break
 
             if retry.timeout_s is not None:
                 now = time.perf_counter()
@@ -476,6 +616,23 @@ def _run_parallel(pending, trace, point_fn, workers, retry, on_error, key_of, fi
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+
+    if fallback is not None:
+        message = (
+            f"{SERIAL_FALLBACK_DEATHS} consecutive worker deaths; running "
+            f"the remaining {len(fallback)} point(s) serially in the parent"
+        )
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
+        if journal is not None:
+            journal.write(
+                "serial_fallback",
+                remaining=len(fallback),
+                consecutive_deaths=SERIAL_FALLBACK_DEATHS,
+            )
+        _run_serial(
+            [task for task, _ in fallback],
+            trace, point_fn, retry, on_error, key_of, finalize,
+        )
 
     if failures and on_error == "raise":
         summary = "; ".join(

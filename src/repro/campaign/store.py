@@ -13,7 +13,9 @@ Each completed grid point is persisted as one JSON file named by its
    the installed ``repro`` package, so editing the simulator silently
    invalidates every cached result instead of serving stale numbers.
 
-Entries are written atomically (tempfile + ``os.replace``) and sharded
+Entries are written atomically (tempfile + ``fsync`` + ``os.replace``,
+so a crash mid-write leaves either the old entry or the new one, never
+a torn file; stale temporaries are swept on open) and sharded
 into two-character subdirectories to keep directory listings small on
 large campaigns.
 """
@@ -106,11 +108,21 @@ def result_key(
 
 
 class ResultStore:
-    """Directory of content-addressed simulation results."""
+    """Directory of content-addressed simulation results.
+
+    Opening a store sweeps out ``*.tmp`` droppings left by writers that
+    crashed between ``mkstemp`` and ``os.replace`` — they are invisible
+    to lookups but would otherwise accumulate forever.
+    """
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        for stale in self.root.glob("*/*.tmp"):
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent sweep
+                pass
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -151,6 +163,8 @@ class ResultStore:
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(payload, fh, default=repr)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):

@@ -7,6 +7,7 @@ Main subcommands::
     python -m repro simulate trace.csv -p pa-lru # run one policy
     python -m repro compare trace.csv -p lru -p pa-lru   # normalized table
     python -m repro campaign spec.json --workers 4 --cache-dir .cache
+    python -m repro faults trace.csv --matrix      # crash-recovery audit
 
 ``generate`` accepts ``oltp``, ``cello``, or ``synthetic`` and the most
 useful generator knobs; ``simulate``/``compare`` accept any policy from
@@ -156,6 +157,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-events", action="store_true",
         help="attach a metrics sink to every grid point; counters appear "
         "as trace_metrics in each record",
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="crash a simulation and audit WTDU recovery, or sweep a "
+        "crash matrix across write policies (see repro.faults)",
+    )
+    faults.add_argument("trace", help="trace CSV (from `repro generate`)")
+    faults.add_argument(
+        "--disks", type=int, default=None,
+        help="number of disks (default: inferred from the trace)",
+    )
+    faults.add_argument(
+        "--cache-blocks", type=int, default=2048,
+        help="cache capacity in blocks (default 2048)",
+    )
+    faults.add_argument(
+        "-p", "--policy", choices=POLICY_NAMES, default="lru",
+    )
+    faults.add_argument(
+        "-w", "--write-policy", choices=WRITE_POLICY_NAMES, default="wtdu",
+        help="write policy for a single crash scenario (default wtdu)",
+    )
+    point = faults.add_mutually_exclusive_group()
+    point.add_argument(
+        "--crash-at", type=int, default=None, metavar="N",
+        help="cut power after N completed requests",
+    )
+    point.add_argument(
+        "--crash-time", type=float, default=None, metavar="SECONDS",
+        help="cut power at this simulated time",
+    )
+    faults.add_argument(
+        "--matrix", action="store_true",
+        help="sweep spread crash points across every write policy "
+        "instead of one scenario (ignores -w/--crash-at/--crash-time)",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-injection RNG seed (default 0)",
+    )
+    faults.add_argument(
+        "--spinup-fail-rate", type=float, default=0.0, metavar="P",
+        help="probability each spin-up attempt fails (default 0)",
+    )
+    faults.add_argument(
+        "--io-error-rate", type=float, default=0.0, metavar="P",
+        help="probability each request hits a transient I/O error "
+        "(default 0)",
+    )
+    faults.add_argument(
+        "--log-region-blocks", type=int, default=4096,
+        help="WTDU log-region capacity in blocks (default 4096)",
     )
 
     check = sub.add_parser(
@@ -461,6 +515,90 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.faults import FaultPlan, crash_matrix, run_crash_scenario
+
+    trace, disks = _load(args)
+    plan = FaultPlan(
+        seed=args.seed,
+        spinup_failure_rate=args.spinup_fail_rate,
+        io_error_rate=args.io_error_rate,
+    )
+
+    def row(r):
+        return [
+            r.write_policy,
+            f"{r.crash_index}/{r.requests_total}",
+            f"{r.crash_time:.1f}",
+            r.acked_writes,
+            r.unhomed_blocks,
+            r.replayed_blocks,
+            r.verdict,
+        ]
+
+    header = [
+        "write policy", "crash at", "t (s)", "acked w",
+        "unhomed", "replayed", "verdict",
+    ]
+    if args.matrix:
+        reports = crash_matrix(
+            trace,
+            num_disks=disks,
+            cache_blocks=args.cache_blocks,
+            policy=args.policy,
+            fault_plan=plan,
+            log_region_blocks=args.log_region_blocks,
+        )
+        print(
+            ascii_table(
+                header,
+                [row(r) for r in reports],
+                title=f"{args.trace} — crash matrix (seed {args.seed})",
+            )
+        )
+    else:
+        if args.crash_at is None and args.crash_time is None:
+            raise ConfigurationError(
+                "a crash point is required: --crash-at, --crash-time, "
+                "or --matrix"
+            )
+        reports = [
+            run_crash_scenario(
+                trace,
+                num_disks=disks,
+                cache_blocks=args.cache_blocks,
+                policy=args.policy,
+                write_policy=args.write_policy,
+                crash_at=args.crash_at,
+                crash_time=args.crash_time,
+                fault_plan=plan,
+                log_region_blocks=args.log_region_blocks,
+            )
+        ]
+        print(
+            ascii_table(
+                header,
+                [row(r) for r in reports],
+                title=f"{args.trace} — crash scenario (seed {args.seed})",
+            )
+        )
+        r = reports[0]
+        if r.lost:
+            for disk, blocks in sorted(r.lost.items()):
+                shown = ", ".join(map(str, blocks[:8]))
+                more = f" (+{len(blocks) - 8} more)" if len(blocks) > 8 else ""
+                print(f"  disk {disk}: lost blocks {shown}{more}")
+    broken = [r for r in reports if r.persistency_expected and not r.zero_loss]
+    if broken:
+        print(
+            f"FAIL: {len(broken)} scenario(s) lost acknowledged writes "
+            "under a persistent write policy"
+        )
+        return 1
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import main as bench_main
 
@@ -480,6 +618,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "reproduce": _cmd_reproduce,
     "campaign": _cmd_campaign,
+    "faults": _cmd_faults,
     "bench": _cmd_bench,
     "check": _cmd_check,
 }

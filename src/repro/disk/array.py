@@ -34,6 +34,10 @@ class DiskArray:
             multi-speed model).
         block_size: Logical block size in bytes.
         start_time: Simulation epoch for every disk.
+        fault_injector: Optional shared
+            :class:`~repro.faults.injector.FaultInjector`; one injector
+            serves the whole array so the fault sequence is a function
+            of the plan's seed and the request order alone.
     """
 
     def __init__(
@@ -46,12 +50,14 @@ class DiskArray:
         start_time: float = 0.0,
         disk_cls: type[SimulatedDisk] = SimulatedDisk,
         probe=None,
+        fault_injector=None,
     ) -> None:
         if num_disks < 1:
             raise ConfigurationError(f"num_disks must be >= 1, got {num_disks}")
         self.spec = spec
         self.power_model = power_model or build_power_model(spec)
         self.block_size = block_size
+        self.fault_injector = fault_injector
         self._disks = [
             disk_cls(
                 disk_id=i,
@@ -61,6 +67,7 @@ class DiskArray:
                 block_size=block_size,
                 start_time=start_time,
                 probe=probe,
+                faults=fault_injector,
             )
             for i in range(num_disks)
         ]

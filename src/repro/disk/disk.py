@@ -69,6 +69,10 @@ class SimulatedDisk:
             :class:`DiskSpinUp` / :class:`DiskService` /
             :class:`DiskFinalized` events carrying exactly the joules
             recorded in the :class:`EnergyAccount`.
+        faults: Optional :class:`~repro.faults.injector.FaultInjector`
+            consulted once per request; injected faults are latency-only
+            (retry/backoff delays the request, the energy ledger is
+            untouched), so a ``faults=None`` run is bit-identical.
     """
 
     def __init__(
@@ -80,12 +84,14 @@ class SimulatedDisk:
         block_size: int = DEFAULT_BLOCK_SIZE,
         start_time: float = 0.0,
         probe=None,
+        faults=None,
     ) -> None:
         self.disk_id = disk_id
         self.spec = spec
         self.power_model = power_model
         self.dpm = dpm
         self.probe = probe
+        self.faults = faults
         self.geometry = DiskGeometry(
             capacity_bytes=spec.capacity_bytes,
             block_size=block_size,
@@ -169,6 +175,10 @@ class SimulatedDisk:
         else:
             effective = self._busy_until
 
+        if self.faults is not None:
+            wake_delay += self.faults.delays(
+                self.disk_id, arrival, woke=wake_delay > 0.0
+            )
         start_service = effective + wake_delay
         breakdown, end_cyl = self.timing.service(
             start_service, self._cylinder, block, nblocks
@@ -211,10 +221,10 @@ class SimulatedDisk:
         — the columnar/legacy equivalence tests pin this bit for bit —
         but with the service-time math and the short-gap idle accounting
         inlined, and no :class:`DiskResponse` allocated. Falls back to
-        :meth:`submit` whenever a probe is attached so event streams
-        stay complete.
+        :meth:`submit` whenever a probe or fault injector is attached so
+        event streams stay complete and fault decisions are uniform.
         """
-        if self.probe is not None:
+        if self.probe is not None or self.faults is not None:
             response = self.submit(arrival, block, 1, is_write)
             return response.finish - response.arrival, response.wake_delay_s
         if self._finalized:

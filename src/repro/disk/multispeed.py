@@ -63,6 +63,7 @@ class AllSpeedServiceDisk(SimulatedDisk):
         start_time: float = 0.0,
         ramp_up_gap_s: float | None = None,
         probe=None,
+        faults=None,
     ) -> None:
         if not isinstance(dpm, PracticalDPM):
             raise ConfigurationError(
@@ -72,6 +73,7 @@ class AllSpeedServiceDisk(SimulatedDisk):
         super().__init__(
             disk_id, spec, power_model, dpm,
             block_size=block_size, start_time=start_time, probe=probe,
+            faults=faults,
         )
         if ramp_up_gap_s is None:
             from repro.power.envelope import EnergyEnvelope
@@ -140,6 +142,10 @@ class AllSpeedServiceDisk(SimulatedDisk):
         else:
             effective = self._busy_until
 
+        if self.faults is not None:
+            wake_delay += self.faults.delays(
+                self.disk_id, arrival, woke=wake_delay > 0.0
+            )
         mode = self.power_model[self._mode]
         speed_factor = (
             self.power_model[0].rpm / mode.rpm if mode.rpm > 0 else 1.0

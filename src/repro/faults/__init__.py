@@ -1,0 +1,42 @@
+"""Fault injection and crash recovery (``repro.faults``).
+
+The robustness pillar of the reproduction: deterministic, seeded fault
+injection for the disk layer plus a crash/recovery harness that
+exercises WTDU's Section-6 recovery protocol end to end.
+
+* :class:`FaultPlan` — frozen, seeded description of what to break
+  (spin-up failure and transient-I/O rates with bounded exponential
+  retry ladders, plus an optional crash point).
+* :class:`FaultInjector` — the per-run decision source disks consult;
+  latency-only by design, so fault-free runs stay bit-identical.
+* :func:`run_crash_scenario` / :class:`CrashReport` — cut power at an
+  arbitrary request index or simulated time, run
+  :meth:`~repro.cache.write.log_region.LogRegion.recover`, and audit
+  the replay set against the acknowledged-but-unhomed writes.
+* :func:`crash_matrix` — sweep crash points across the write-policy
+  spectrum (the ``repro faults`` CLI subcommand's engine).
+"""
+
+from repro.faults.harness import (
+    PERSISTENT_WRITE_POLICIES,
+    CrashReport,
+    run_crash_scenario,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.scenarios import (
+    DEFAULT_MATRIX_POLICIES,
+    crash_matrix,
+    spread_crash_points,
+)
+
+__all__ = [
+    "DEFAULT_MATRIX_POLICIES",
+    "PERSISTENT_WRITE_POLICIES",
+    "CrashReport",
+    "FaultInjector",
+    "FaultPlan",
+    "crash_matrix",
+    "run_crash_scenario",
+    "spread_crash_points",
+]

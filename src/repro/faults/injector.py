@@ -1,0 +1,116 @@
+"""Deterministic, seeded fault injection for the disk layer.
+
+One :class:`FaultInjector` is shared by every disk of a run (the engine
+builds it from the run's :class:`~repro.faults.plan.FaultPlan`). Disks
+call :meth:`FaultInjector.delays` once per serviced request; the
+injector decides — from its own seeded RNG, never from global state —
+whether that request's spin-up fails and whether its transfer hits a
+transient I/O error, and returns the total retry/backoff latency the
+request must absorb.
+
+Faults are latency-only: every injected failure eventually succeeds
+within the plan's bounded retry ladder, the request completes, and the
+energy ledger is untouched (the energy of an aborted spin-up is below
+the noise floor of the paper's model; charging only the delay keeps
+fault-free runs bit-identical and the
+:class:`~repro.observe.invariants.InvariantChecker`'s energy balance
+exact). Each failure is surfaced through the probe as a
+:class:`~repro.observe.events.SpinUpFailed` or
+:class:`~repro.observe.events.FaultInjected` event.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.plan import FaultPlan
+from repro.observe.events import FaultInjected, SpinUpFailed
+
+
+class FaultInjector:
+    """Seeded per-run source of disk-fault decisions.
+
+    Args:
+        plan: The fault plan (rates, retry ladders, seed).
+        probe: Optional event hook (see :mod:`repro.observe`).
+    """
+
+    def __init__(self, plan: FaultPlan, probe=None) -> None:
+        self.plan = plan
+        self.probe = probe
+        self._rng = random.Random(plan.seed)
+        #: Failed spin-up attempts injected so far.
+        self.spinup_failures = 0
+        #: Transient I/O errors injected so far.
+        self.io_errors = 0
+        #: Total retry/backoff latency injected (seconds).
+        self.injected_delay_s = 0.0
+
+    def delays(self, disk_id: int, time: float, woke: bool) -> float:
+        """Fault latency for one request; 0.0 when nothing fails.
+
+        ``woke`` says whether this request triggered a spin-up — only
+        then can a spin-up failure be injected. Randomness is consumed
+        only for fault classes whose rate is non-zero and (for
+        spin-ups) only on wakes, so decisions are reproducible per
+        (plan, request sequence).
+        """
+        plan = self.plan
+        delay = 0.0
+        if woke and plan.spinup_failure_rate > 0.0:
+            delay += self._retry_ladder(
+                disk_id,
+                time,
+                rate=plan.spinup_failure_rate,
+                max_retries=plan.spinup_max_retries,
+                base_delay_s=plan.spinup_retry_delay_s,
+                spinup=True,
+            )
+        if plan.io_error_rate > 0.0:
+            delay += self._retry_ladder(
+                disk_id,
+                time,
+                rate=plan.io_error_rate,
+                max_retries=plan.io_max_retries,
+                base_delay_s=plan.io_retry_delay_s,
+                spinup=False,
+            )
+        self.injected_delay_s += delay
+        return delay
+
+    def _retry_ladder(
+        self,
+        disk_id: int,
+        time: float,
+        *,
+        rate: float,
+        max_retries: int,
+        base_delay_s: float,
+        spinup: bool,
+    ) -> float:
+        """Draw failures until success or the ladder is exhausted.
+
+        Attempt ``n`` (1-based) failing costs ``base_delay_s *
+        2**(n-1)`` of backoff; the attempt after ``max_retries``
+        failures is not drawn — transient faults always clear within
+        the bound.
+        """
+        delay = 0.0
+        for attempt in range(1, max_retries + 1):
+            if self._rng.random() >= rate:
+                break
+            backoff = base_delay_s * (2.0 ** (attempt - 1))
+            delay += backoff
+            if spinup:
+                self.spinup_failures += 1
+                if self.probe is not None:
+                    self.probe(SpinUpFailed(time, disk_id, attempt, backoff))
+            else:
+                self.io_errors += 1
+                if self.probe is not None:
+                    self.probe(
+                        FaultInjected(
+                            time, disk_id, "io_error", attempt, backoff
+                        )
+                    )
+        return delay

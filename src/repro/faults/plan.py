@@ -1,0 +1,99 @@
+"""Fault plans: the declarative description of what to break.
+
+A :class:`FaultPlan` is a frozen, seeded configuration consumed in two
+places:
+
+* the simulation engine (:class:`~repro.sim.engine.StorageSimulator`
+  and :func:`~repro.sim.runner.run_simulation` accept ``fault_plan=``)
+  builds a :class:`~repro.faults.injector.FaultInjector` from the
+  disk-fault knobs — failed spin-ups and transient I/O errors with
+  exponential retry backoff;
+* the crash harness (:func:`~repro.faults.harness.run_crash_scenario`)
+  additionally honours the crash point — cut power after
+  ``crash_at_request`` requests or at simulated time
+  ``crash_at_time`` — and audits recovery.
+
+Everything is deterministic: the injector draws from
+``random.Random(seed)`` and consumes randomness only for operations the
+plan can actually affect, so two runs with the same trace and plan make
+identical fault decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, when, and how reproducibly.
+
+    Args:
+        seed: RNG seed for every probabilistic fault decision.
+        spinup_failure_rate: Probability that one spin-up *attempt*
+            fails (the disk retries with exponential backoff).
+        spinup_max_retries: Failed attempts tolerated per spin-up; the
+            attempt after the last retry always succeeds, so a fault
+            only ever adds bounded latency.
+        spinup_retry_delay_s: Backoff before retry ``n`` is
+            ``spinup_retry_delay_s * 2**(n-1)``.
+        io_error_rate: Probability that a request's transfer hits a
+            transient I/O error (retried in place).
+        io_max_retries: Failed transfer attempts tolerated per request.
+        io_retry_delay_s: Base backoff of the transfer retry ladder.
+        crash_at_request: Cut power after this many completed requests
+            (crash-harness only; ``run_simulation`` rejects it).
+        crash_at_time: Cut power at this simulated time, before the
+            first request at or past it (crash-harness only).
+    """
+
+    seed: int = 0
+    spinup_failure_rate: float = 0.0
+    spinup_max_retries: int = 3
+    spinup_retry_delay_s: float = 2.0
+    io_error_rate: float = 0.0
+    io_max_retries: int = 3
+    io_retry_delay_s: float = 5e-3
+    crash_at_request: int | None = None
+    crash_at_time: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("spinup_failure_rate", "io_error_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1), got {rate}"
+                )
+        for name in ("spinup_max_retries", "io_max_retries"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+        for name in ("spinup_retry_delay_s", "io_retry_delay_s"):
+            if getattr(self, name) < 0.0:
+                raise ConfigurationError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+        if self.crash_at_request is not None and self.crash_at_request < 0:
+            raise ConfigurationError(
+                f"crash_at_request must be >= 0, got {self.crash_at_request}"
+            )
+        if self.crash_at_time is not None and self.crash_at_time < 0.0:
+            raise ConfigurationError(
+                f"crash_at_time must be >= 0, got {self.crash_at_time}"
+            )
+        if self.crash_at_request is not None and self.crash_at_time is not None:
+            raise ConfigurationError(
+                "crash_at_request and crash_at_time are mutually exclusive"
+            )
+
+    @property
+    def injects_disk_faults(self) -> bool:
+        """Whether any probabilistic disk fault is enabled."""
+        return self.spinup_failure_rate > 0.0 or self.io_error_rate > 0.0
+
+    @property
+    def has_crash_point(self) -> bool:
+        return self.crash_at_request is not None or self.crash_at_time is not None

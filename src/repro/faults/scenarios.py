@@ -1,0 +1,77 @@
+"""Crash-scenario matrices: sweep crash points across write policies.
+
+The single-scenario harness answers "what does a crash at request k
+cost under policy P?"; a matrix answers the paper-level question —
+*which policies are actually persistent?* — by crashing every policy at
+several points spread across the trace and tabulating loss.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.faults.harness import CrashReport, run_crash_scenario
+from repro.faults.plan import FaultPlan
+from repro.traces.record import IORequest
+
+#: The write-policy spectrum a default matrix crashes.
+DEFAULT_MATRIX_POLICIES = (
+    "write-through",
+    "write-back",
+    "wbeu",
+    "wtdu",
+    "periodic-flush",
+)
+
+
+def spread_crash_points(num_requests: int, count: int = 5) -> tuple[int, ...]:
+    """``count`` crash indices spread evenly across a trace.
+
+    Always includes a near-start and the end-of-trace index; for tiny
+    traces every index is returned.
+    """
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    if num_requests <= count:
+        return tuple(range(1, num_requests + 1))
+    step = num_requests / count
+    points = sorted({max(1, round(step * i)) for i in range(1, count + 1)})
+    return tuple(points)
+
+
+def crash_matrix(
+    trace: Sequence[IORequest],
+    *,
+    num_disks: int,
+    cache_blocks: int | None,
+    policy: str = "lru",
+    write_policies: Sequence[str] = DEFAULT_MATRIX_POLICIES,
+    crash_points: Sequence[int] | None = None,
+    fault_plan: FaultPlan | None = None,
+    **scenario_kwargs,
+) -> list[CrashReport]:
+    """Crash every write policy at every crash point.
+
+    Returns reports in (write_policy, crash_point) order. Extra keyword
+    arguments are forwarded to :func:`run_crash_scenario`.
+    """
+    requests = list(trace)
+    if crash_points is None:
+        crash_points = spread_crash_points(len(requests))
+    reports: list[CrashReport] = []
+    for write_policy in write_policies:
+        for crash_at in crash_points:
+            reports.append(
+                run_crash_scenario(
+                    requests,
+                    num_disks=num_disks,
+                    cache_blocks=cache_blocks,
+                    policy=policy,
+                    write_policy=write_policy,
+                    crash_at=crash_at,
+                    fault_plan=fault_plan,
+                    **scenario_kwargs,
+                )
+            )
+    return reports

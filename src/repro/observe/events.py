@@ -18,6 +18,8 @@ Event vocabulary:
   :class:`DiskFinalized`.
 * PA classifier — :class:`EpochRollover`, :class:`DiskReclassified`.
 * WTDU log — :class:`LogAppend`, :class:`LogFlush`.
+* Faults/recovery — :class:`FaultInjected`, :class:`SpinUpFailed`,
+  :class:`RecoveryReplay`.
 * Engine — :class:`SimulationStart`, :class:`RequestComplete`.
 
 The energy-carrying disk events are emitted with exactly the joules the
@@ -264,6 +266,48 @@ class LogFlush(Event):
     retired: int
 
 
+# -- fault injection / crash recovery -------------------------------------
+
+
+@dataclass(slots=True)
+class FaultInjected(Event):
+    """A transient fault was injected into a disk request.
+
+    ``fault`` names the fault class (currently ``"io_error"``);
+    ``attempt`` is the 1-based failed attempt and ``delay_s`` the
+    backoff that attempt cost the request."""
+
+    kind: ClassVar[str] = "fault_injected"
+
+    disk: int
+    fault: str
+    attempt: int
+    delay_s: float
+
+
+@dataclass(slots=True)
+class SpinUpFailed(Event):
+    """A disk spin-up attempt failed and will be retried after
+    ``delay_s`` of backoff (``attempt`` is 1-based)."""
+
+    kind: ClassVar[str] = "spin_up_failed"
+
+    disk: int
+    attempt: int
+    delay_s: float
+
+
+@dataclass(slots=True)
+class RecoveryReplay(Event):
+    """Crash recovery reconstructed a disk's replay set from its log
+    region; ``replayed`` is the number of blocks to write home."""
+
+    kind: ClassVar[str] = "recovery_replay"
+
+    disk: int
+    replayed: int
+
+
 #: All concrete event classes, keyed by their ``kind`` tag.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
@@ -285,5 +329,8 @@ EVENT_TYPES: dict[str, type[Event]] = {
         DiskReclassified,
         LogAppend,
         LogFlush,
+        FaultInjected,
+        SpinUpFailed,
+        RecoveryReplay,
     )
 }

@@ -12,7 +12,7 @@ end-of-run aggregate. The enforced invariants:
    capacity, and the occupancy reported by ``Insert``/``Evict`` events
    always matches an independent count of inserts minus evictions.
 3. **Non-negative physics** — dwell durations, service times, delays,
-   and energies are never negative.
+   fault backoffs, replay counts, and energies are never negative.
 4. **No service while spun down** — a ``full-speed-only`` disk only
    services requests at mode 0 (the paper's design: a parked disk must
    spin up first); an ``all-speed`` disk may service at reduced speed
@@ -44,12 +44,15 @@ from repro.observe.events import (
     DiskSpinUp,
     Event,
     Evict,
+    FaultInjected,
     Insert,
     LogAppend,
     LogFlush,
+    RecoveryReplay,
     RequestComplete,
     SimulationStart,
     SpeedChange,
+    SpinUpFailed,
     StateDwell,
 )
 
@@ -227,6 +230,20 @@ class InvariantChecker(EventSink):
                     f"log flush on disk {event.disk} would discard "
                     f"{len(pending)} logged block(s) never written home: "
                     f"{sorted(pending)[:8]}",
+                )
+        elif isinstance(event, (FaultInjected, SpinUpFailed)):
+            if event.delay_s < 0:
+                self._fail(
+                    event, f"negative fault backoff {event.delay_s} s"
+                )
+            if event.attempt < 1:
+                self._fail(
+                    event, f"fault attempt must be 1-based, got {event.attempt}"
+                )
+        elif isinstance(event, RecoveryReplay):
+            if event.replayed < 0:
+                self._fail(
+                    event, f"negative replay count {event.replayed}"
                 )
         elif isinstance(event, (CacheMiss, RequestComplete)):
             if isinstance(event, RequestComplete) and event.latency_s < 0:

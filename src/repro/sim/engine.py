@@ -30,6 +30,8 @@ from repro.disk.array import DiskArray
 from repro.disk.disk import SimulatedDisk
 from repro.disk.multispeed import AllSpeedServiceDisk
 from repro.errors import ConfigurationError, SimulationError, TraceError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.observe.events import RequestComplete, SimulationStart
 from repro.power.specs import build_power_model
 from repro.sim.config import SimulationConfig
@@ -98,6 +100,11 @@ class StorageSimulator:
             :class:`~repro.observe.events.Event` (usually an
             :class:`~repro.observe.bus.EventBus`). ``None`` (default)
             disables tracing at near-zero cost.
+        fault_plan: Optional :class:`~repro.faults.plan.FaultPlan`; when
+            it arms disk faults a seeded
+            :class:`~repro.faults.injector.FaultInjector` is built and
+            shared by every disk. Crash points are the crash harness's
+            job (:mod:`repro.faults.harness`), not the engine's.
     """
 
     def __init__(
@@ -109,11 +116,17 @@ class StorageSimulator:
         prefetcher: Prefetcher | None = None,
         label: str | None = None,
         probe=None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.trace = trace
         self.config = config
         self.policy = policy
         self.probe = probe
+        self.fault_injector = (
+            FaultInjector(fault_plan, probe=probe)
+            if fault_plan is not None and fault_plan.injects_disk_faults
+            else None
+        )
         self.write_policy = write_policy or WriteBackPolicy()
         if prefetcher is not None and isinstance(policy, OfflinePolicy):
             raise ConfigurationError(
@@ -136,6 +149,7 @@ class StorageSimulator:
             block_size=config.block_size,
             disk_cls=disk_cls,
             probe=probe,
+            fault_injector=self.fault_injector,
         )
         self.cache = StorageCache(
             config.cache_capacity_blocks, policy, probe=probe

@@ -36,6 +36,7 @@ from repro.core.opg import OPGPolicy
 from repro.core.pa import PowerAwarePolicy, make_pa_lru
 from repro.core.prefetch import SequentialWakePrefetcher
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.observe.bus import EventBus
 from repro.observe.invariants import InvariantChecker
 from repro.observe.sinks import JSONLSink, MetricsSink
@@ -186,6 +187,7 @@ def run_simulation(
     probe=None,
     trace_events: bool = False,
     trace_file: str | Path | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> SimulationResult:
     """Run one experiment end-to-end.
 
@@ -205,12 +207,22 @@ def run_simulation(
         trace_events: Attach a :class:`MetricsSink` and surface its
             snapshot as ``result.trace_metrics``.
         trace_file: Write every event as JSONL to this path.
+        fault_plan: Arm seeded disk-fault injection for the run. Plans
+            carrying a crash point are rejected here — crashes are the
+            :mod:`repro.faults.harness` job (``run_simulation`` always
+            runs traces to completion, so a crash point would be
+            silently ignored).
 
     Setting ``REPRO_CHECK_INVARIANTS=1`` in the environment attaches an
     :class:`~repro.observe.invariants.InvariantChecker` to every run
     (used by CI), raising
     :class:`~repro.errors.InvariantViolation` on any breach.
     """
+    if fault_plan is not None and fault_plan.has_crash_point:
+        raise ConfigurationError(
+            "fault_plan carries a crash point, which run_simulation would "
+            "silently ignore; use repro.faults.run_crash_scenario instead"
+        )
     if policy.lower() == "infinite":
         cache_blocks = None
     if config is None:
@@ -265,6 +277,7 @@ def run_simulation(
         prefetcher=prefetcher,
         label=label or ("infinite" if cache_blocks is None else policy),
         probe=effective_probe,
+        fault_plan=fault_plan,
     )
     try:
         result = simulator.run()

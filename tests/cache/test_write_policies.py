@@ -192,6 +192,53 @@ class TestWTDU:
         cached_write(cache, policy, (0, 12), 502.0)
         assert cache.pinned_count <= 2
 
+    def test_pressure_drain_restricts_victims_to_dirty_disks(self):
+        """The drain must pick the dirtiest disk *among disks that hold
+        deferred data* — never a clean disk, whose flush would spin it
+        up for nothing and bump an empty region's epoch."""
+        policy, cache, array, log = self.make(capacity=6, region=64)
+        # park both disks
+        cache.access((0, 99), 0.0, False)
+        array.submit(0, 0.0, 99)
+        cache.access((1, 98), 0.0, False)
+        array.submit(1, 0.0, 98)
+        cached_write(cache, policy, (0, 10), 500.0)
+        cached_write(cache, policy, (0, 11), 501.0)
+        cached_write(cache, policy, (1, 20), 502.0)
+        # pinned = 3 = capacity * 0.5: this write drains disk 0 (2 dirty)
+        cached_write(cache, policy, (1, 21), 503.0)
+        assert policy.forced_flushes == 1
+        assert log.regions[0].timestamp == 1
+        assert cache.dirty_count(0) == 0
+        # disk 1 kept its deferred write; its epoch did not move
+        assert log.regions[1].timestamp == 0
+        assert cache.dirty_count(1) >= 1
+
+    def test_pressure_without_dirty_disks_is_a_no_op(self):
+        """Pins not backed by deferred writes (another policy's
+        bookkeeping) must not trigger a flush of anything."""
+        policy, cache, array, log = self.make(capacity=4)
+        cache._pinned = 2  # simulate foreign pins; no dirty blocks exist
+        latency = cached_write(cache, policy, (0, 10), 0.1)  # disk active
+        assert policy.forced_flushes == 0
+        assert all(r.timestamp == 0 for r in log.regions)
+        assert latency > 0  # the write itself still went through
+
+    def test_flush_disk_skips_empty_region(self):
+        """An empty region's epoch must not advance: a crash between a
+        spurious bump and the next append would otherwise orphan
+        nothing visibly but skew the timestamp audit trail."""
+        policy, cache, array, log = self.make()
+        policy._flush_disk(0, 10.0)
+        assert log.regions[0].timestamp == 0
+        self.park(policy, cache, array)
+        cached_write(cache, policy, (0, 10), 500.0)
+        policy._flush_disk(0, 600.0)
+        assert log.regions[0].timestamp == 1
+        # draining again with nothing pending leaves the epoch alone
+        policy._flush_disk(0, 700.0)
+        assert log.regions[0].timestamp == 1
+
     def test_persistency_always_somewhere_durable(self):
         """Every acknowledged write is on disk or in the log."""
         policy, cache, array, log = self.make(capacity=16, region=32)

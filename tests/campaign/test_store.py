@@ -115,6 +115,20 @@ class TestResultStore:
         with pytest.raises(CampaignError):
             store.get(key)
 
+    def test_stale_tmp_files_swept_on_open(self, tmp_path, result):
+        """A crash mid-put leaves a ``*.tmp`` behind; reopening the
+        store removes it and the half-written entry is never visible."""
+        store = ResultStore(tmp_path / "store")
+        key = "ab" + "3" * 62
+        store.put(key, result)
+        shard = tmp_path / "store" / "ab"
+        orphan = shard / f"{key}.json.tmp"
+        orphan.write_text('{"half": "written')
+        reopened = ResultStore(tmp_path / "store")
+        assert not orphan.exists()
+        assert reopened.get(key) == result  # the committed entry survives
+        assert len(reopened) == 1
+
     def test_entries_are_json_with_metadata(self, tmp_path, trace, result):
         store = ResultStore(tmp_path / "store")
         key = result_key(workload_token(trace), {"policy": "lru"})

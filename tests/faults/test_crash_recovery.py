@@ -1,0 +1,199 @@
+"""Crash/recovery harness tests: the Section-6 persistency claims.
+
+The central property: for the persistent write policies (WT, WTDU) a
+power cut at *any* request index loses no acknowledged write — WT
+because nothing is ever unhomed, WTDU because the log's replay set
+exactly covers the deferred writes. The volatile policies (WB, WBEU,
+periodic-flush) lose exactly their dirty window, which the report
+quantifies.
+"""
+
+import pytest
+
+from repro.cache.write.log_region import LogRegion
+from repro.errors import ConfigurationError
+from repro.faults import (
+    CrashReport,
+    FaultPlan,
+    crash_matrix,
+    run_crash_scenario,
+    spread_crash_points,
+)
+from repro.observe.events import RecoveryReplay
+from repro.traces.record import IORequest
+
+
+def parking_trace(n=24, gap_s=300.0, num_disks=2):
+    """Writes with long gaps so disks park between requests, plus
+    duplicate blocks (last-write-wins matters) and a few reads."""
+    requests = []
+    t = 0.0
+    for i in range(n):
+        requests.append(
+            IORequest(
+                time=t,
+                disk=i % num_disks,
+                block=10 + (i % 5),
+                is_write=(i % 4 != 3),
+            )
+        )
+        t += gap_s
+    return requests
+
+
+class TestCrashProperty:
+    @pytest.mark.parametrize("write_policy", ["wtdu", "write-through"])
+    def test_no_acknowledged_write_lost_at_any_crash_point(self, write_policy):
+        requests = parking_trace()
+        for crash_at in range(1, len(requests) + 1):
+            report = run_crash_scenario(
+                requests,
+                num_disks=2,
+                cache_blocks=8,
+                write_policy=write_policy,
+                crash_at=crash_at,
+            )
+            assert report.zero_loss, (
+                f"{write_policy} crash at {crash_at}: lost {report.lost}, "
+                f"spurious {report.spurious}"
+            )
+            assert report.crash_index == crash_at
+            assert report.persistency_expected
+
+    def test_every_crash_point_with_tiny_log_region(self):
+        """log_region_blocks=4 forces mid-trace region-full flushes;
+        recovery must still be exact across every epoch boundary."""
+        requests = parking_trace(n=20)
+        for crash_at in range(1, len(requests) + 1):
+            report = run_crash_scenario(
+                requests,
+                num_disks=2,
+                cache_blocks=16,
+                write_policy="wtdu",
+                crash_at=crash_at,
+                log_region_blocks=4,
+            )
+            assert report.zero_loss, f"crash at {crash_at}: {report.lost}"
+
+    def test_write_back_loses_exactly_the_dirty_window(self):
+        report = run_crash_scenario(
+            parking_trace(),
+            num_disks=2,
+            cache_blocks=64,
+            write_policy="write-back",
+            crash_at=12,
+        )
+        assert not report.persistency_expected
+        assert report.replayed == {}
+        assert report.lost == dict(report.unhomed)
+        assert 0 < report.lost_blocks <= report.acked_writes
+        assert report.verdict == f"lost {report.lost_blocks}"
+
+    def test_crash_by_simulated_time(self):
+        requests = parking_trace()
+        report = run_crash_scenario(
+            requests,
+            num_disks=2,
+            cache_blocks=8,
+            write_policy="wtdu",
+            crash_time=1000.0,
+        )
+        assert report.zero_loss
+        assert report.crash_time < 1000.0
+        assert report.crash_index == sum(
+            1 for r in requests if r.time < 1000.0
+        )
+
+    def test_crash_point_via_fault_plan(self):
+        report = run_crash_scenario(
+            parking_trace(),
+            num_disks=2,
+            cache_blocks=8,
+            write_policy="wtdu",
+            fault_plan=FaultPlan(crash_at_request=7),
+        )
+        assert report.crash_index == 7
+
+    def test_exactly_one_crash_point_required(self):
+        requests = parking_trace(n=4)
+        with pytest.raises(ConfigurationError):
+            run_crash_scenario(
+                requests, num_disks=2, cache_blocks=8
+            )
+        with pytest.raises(ConfigurationError):
+            run_crash_scenario(
+                requests, num_disks=2, cache_blocks=8,
+                crash_at=2, crash_time=100.0,
+            )
+
+    def test_recovery_replay_events_emitted(self):
+        events = []
+        report = run_crash_scenario(
+            parking_trace(),
+            num_disks=2,
+            cache_blocks=8,
+            write_policy="wtdu",
+            crash_at=15,
+            probe=events.append,
+        )
+        replays = [e for e in events if isinstance(e, RecoveryReplay)]
+        assert report.unhomed_blocks > 0
+        assert sum(e.replayed for e in replays) == report.replayed_blocks
+        assert {e.disk for e in replays} == set(report.replayed)
+
+
+class TestLastWriteWins:
+    def test_recover_orders_duplicates_by_last_write(self):
+        region = LogRegion(capacity_blocks=8)
+        region.append((0, 1))
+        region.append((0, 2))
+        region.append((0, 1))  # rewrite of block 1 after block 2
+        assert region.recover() == [(0, 2), (0, 1)]
+
+    def test_recover_ignores_retired_epochs(self):
+        region = LogRegion(capacity_blocks=8)
+        region.append((0, 1))
+        region.flush()
+        region.append((0, 2))
+        assert region.recover() == [(0, 2)]
+
+
+class TestCrashMatrix:
+    def test_matrix_covers_policy_by_point_grid(self):
+        requests = parking_trace(n=12)
+        reports = crash_matrix(
+            requests,
+            num_disks=2,
+            cache_blocks=8,
+            write_policies=("wtdu", "write-back"),
+            crash_points=(3, 9),
+        )
+        assert [(r.write_policy, r.crash_index) for r in reports] == [
+            ("WTDU", 3), ("WTDU", 9), ("write-back", 3), ("write-back", 9),
+        ]
+        assert all(r.zero_loss for r in reports if r.persistency_expected)
+
+    def test_spread_crash_points(self):
+        points = spread_crash_points(100, count=5)
+        assert points[-1] == 100
+        assert points == tuple(sorted(set(points)))
+        assert spread_crash_points(3, count=5) == (1, 2, 3)
+        with pytest.raises(ConfigurationError):
+            spread_crash_points(10, count=0)
+
+
+class TestCrashReport:
+    def test_spurious_replay_is_flagged(self):
+        report = CrashReport(
+            label="x",
+            write_policy="WTDU",
+            crash_index=1,
+            crash_time=0.0,
+            requests_total=2,
+            acked_writes=1,
+            unhomed={0: (1,)},
+            replayed={0: (1, 2)},
+        )
+        assert report.spurious == {0: (2,)}
+        assert not report.zero_loss
+        assert report.verdict == "LOSS"

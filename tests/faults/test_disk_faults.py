@@ -1,0 +1,140 @@
+"""Disk-level fault injection: determinism, bit-identity, events."""
+
+import pytest
+
+from repro.disk.disk import SimulatedDisk
+from repro.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultPlan
+from repro.observe.events import FaultInjected, SpinUpFailed
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import StorageSimulator
+from repro.sim.runner import run_simulation
+from repro.traces.record import IORequest
+
+
+def sparse_trace(n=40, gap_s=120.0):
+    """Long gaps so every request finds its disk parked (wakes it)."""
+    return [
+        IORequest(time=i * gap_s, disk=i % 2, block=10 + i, is_write=i % 3 == 0)
+        for i in range(n)
+    ]
+
+
+FAULTY = FaultPlan(seed=11, spinup_failure_rate=0.4, io_error_rate=0.2)
+
+
+class TestDeterminism:
+    def test_same_plan_same_result(self):
+        trace = sparse_trace()
+        kw = dict(num_disks=2, cache_blocks=16, fault_plan=FAULTY)
+        a = run_simulation(trace, **kw)
+        b = run_simulation(trace, **kw)
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seed_different_latencies(self):
+        trace = sparse_trace()
+        a = run_simulation(
+            trace, num_disks=2, cache_blocks=16,
+            fault_plan=FaultPlan(seed=1, spinup_failure_rate=0.5),
+        )
+        b = run_simulation(
+            trace, num_disks=2, cache_blocks=16,
+            fault_plan=FaultPlan(seed=2, spinup_failure_rate=0.5),
+        )
+        assert a.response.mean_s != b.response.mean_s
+
+
+class TestBitIdentity:
+    def test_rate_zero_plan_builds_no_injector(self, tiny_trace):
+        config = SimulationConfig(num_disks=2, cache_capacity_blocks=8)
+        from repro.cache.policies.lru import LRUPolicy
+
+        sim = StorageSimulator(
+            tiny_trace, config, LRUPolicy(), fault_plan=FaultPlan(seed=5)
+        )
+        assert sim.fault_injector is None
+        for disk in sim.array.disks:
+            assert disk.faults is None
+
+    def test_fault_free_run_is_bit_identical(self):
+        trace = sparse_trace()
+        kw = dict(num_disks=2, cache_blocks=16)
+        baseline = run_simulation(trace, **kw)
+        with_plan = run_simulation(trace, fault_plan=FaultPlan(seed=5), **kw)
+        assert baseline.to_dict() == with_plan.to_dict()
+
+    def test_faults_only_add_latency(self):
+        trace = sparse_trace()
+        kw = dict(num_disks=2, cache_blocks=16)
+        clean = run_simulation(trace, **kw)
+        faulted = run_simulation(trace, fault_plan=FAULTY, **kw)
+        assert faulted.response.mean_s > clean.response.mean_s
+        # same cache behaviour: the fault layer never touches admission
+        assert faulted.cache_hits == clean.cache_hits
+        assert faulted.disk_reads == clean.disk_reads
+
+
+class TestEngineWiring:
+    def test_events_stream_through_run_simulation(self):
+        events = []
+        result = run_simulation(
+            sparse_trace(),
+            num_disks=2,
+            cache_blocks=16,
+            fault_plan=FaultPlan(seed=11, spinup_failure_rate=0.7),
+            probe=events.append,
+        )
+        failures = [e for e in events if isinstance(e, SpinUpFailed)]
+        assert failures, "0.7 spin-up failure rate over 40 wakes must fire"
+        assert all(e.delay_s > 0 for e in failures)
+        assert result.response.max_s >= max(e.delay_s for e in failures)
+
+    def test_io_errors_fire_without_wakes(self):
+        events = []
+        # busy trace: disks never park, only io faults possible
+        trace = [
+            IORequest(time=i * 0.001, disk=0, block=i)
+            for i in range(200)
+        ]
+        run_simulation(
+            trace,
+            num_disks=1,
+            cache_blocks=8,
+            fault_plan=FaultPlan(seed=2, io_error_rate=0.3),
+            probe=events.append,
+        )
+        assert any(isinstance(e, FaultInjected) for e in events)
+        assert not any(isinstance(e, SpinUpFailed) for e in events)
+
+    def test_crash_point_rejected_by_run_simulation(self, tiny_trace):
+        with pytest.raises(ConfigurationError, match="crash point"):
+            run_simulation(
+                tiny_trace,
+                num_disks=2,
+                cache_blocks=8,
+                fault_plan=FaultPlan(crash_at_request=3),
+            )
+
+
+class TestSubmitQuickFallback:
+    def test_quick_path_matches_full_submit_under_faults(self, spec, model):
+        """submit_quick must defer to submit when faults are armed so
+        both paths draw the same fault sequence."""
+        from repro.power.dpm import PracticalDPM
+
+        plan = FaultPlan(seed=13, spinup_failure_rate=0.5, io_error_rate=0.5)
+
+        def build():
+            return SimulatedDisk(
+                0, spec, model, PracticalDPM(model), faults=FaultInjector(plan)
+            )
+
+        quick, full = build(), build()
+        for i, t in enumerate([0.0, 0.5, 200.0, 200.4, 500.0]):
+            latency_quick, wake_quick = quick.submit_quick(t, 100 + i)
+            response = full.submit(t, 100 + i, 1)
+            assert latency_quick == pytest.approx(
+                response.finish - response.arrival
+            )
+            assert wake_quick == pytest.approx(response.wake_delay_s)
+        assert quick.faults.injected_delay_s == full.faults.injected_delay_s > 0

@@ -1,0 +1,110 @@
+"""Tests for FaultPlan validation and the seeded FaultInjector."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.observe.events import FaultInjected, SpinUpFailed
+
+
+class TestFaultPlan:
+    def test_defaults_inject_nothing(self):
+        plan = FaultPlan()
+        assert not plan.injects_disk_faults
+        assert not plan.has_crash_point
+
+    def test_rates_arm_injection(self):
+        assert FaultPlan(spinup_failure_rate=0.1).injects_disk_faults
+        assert FaultPlan(io_error_rate=0.1).injects_disk_faults
+
+    def test_crash_point_properties(self):
+        assert FaultPlan(crash_at_request=10).has_crash_point
+        assert FaultPlan(crash_at_time=5.0).has_crash_point
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"spinup_failure_rate": -0.1},
+            {"spinup_failure_rate": 1.0},
+            {"io_error_rate": 1.5},
+            {"spinup_max_retries": 0},
+            {"io_max_retries": -1},
+            {"spinup_retry_delay_s": -1.0},
+            {"io_retry_delay_s": -0.5},
+            {"crash_at_request": -1},
+            {"crash_at_time": -2.0},
+            {"crash_at_request": 5, "crash_at_time": 3.0},
+        ],
+    )
+    def test_invalid_plans_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**kwargs)
+
+
+class TestFaultInjector:
+    def test_same_seed_same_delays(self):
+        plan = FaultPlan(seed=42, spinup_failure_rate=0.5, io_error_rate=0.3)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        delays_a = [a.delays(i % 3, float(i), woke=i % 2 == 0) for i in range(50)]
+        delays_b = [b.delays(i % 3, float(i), woke=i % 2 == 0) for i in range(50)]
+        assert delays_a == delays_b
+        assert a.spinup_failures == b.spinup_failures
+        assert a.io_errors == b.io_errors
+
+    def test_different_seed_different_sequence(self):
+        mk = lambda s: FaultInjector(
+            FaultPlan(seed=s, spinup_failure_rate=0.5, io_error_rate=0.5)
+        )
+        a, b = mk(1), mk(2)
+        delays_a = [a.delays(0, float(i), woke=True) for i in range(50)]
+        delays_b = [b.delays(0, float(i), woke=True) for i in range(50)]
+        assert delays_a != delays_b
+
+    def test_zero_rates_consume_no_randomness(self):
+        """With both rates zero the RNG is never drawn, so the fault
+        stream is a pure function of plan + request order."""
+        inj = FaultInjector(FaultPlan(seed=7))
+        state = inj._rng.getstate()
+        for i in range(10):
+            assert inj.delays(0, float(i), woke=True) == 0.0
+        assert inj._rng.getstate() == state
+        assert inj.injected_delay_s == 0.0
+
+    def test_spinup_draw_only_on_wake(self):
+        """A non-waking request must not consume spin-up randomness."""
+        plan = FaultPlan(seed=9, spinup_failure_rate=0.5)
+        inj = FaultInjector(plan)
+        state = inj._rng.getstate()
+        assert inj.delays(0, 0.0, woke=False) == 0.0
+        assert inj._rng.getstate() == state
+
+    def test_retry_ladder_backoff_is_exponential(self):
+        """rate=1.0 forces every attempt to fail: the ladder costs
+        base * (1 + 2 + ... + 2**(n-1)) and stops at max_retries."""
+        inj = FaultInjector(FaultPlan(seed=0))
+        delay = inj._retry_ladder(
+            0, 0.0, rate=1.0, max_retries=3, base_delay_s=2.0, spinup=True
+        )
+        assert delay == pytest.approx(2.0 * (1 + 2 + 4))
+        assert inj.spinup_failures == 3
+
+    def test_probe_receives_typed_events(self):
+        events = []
+        plan = FaultPlan(
+            seed=3, spinup_failure_rate=0.8, io_error_rate=0.8,
+            spinup_retry_delay_s=1.0, io_retry_delay_s=0.001,
+        )
+        inj = FaultInjector(plan, probe=events.append)
+        total = sum(inj.delays(1, float(i), woke=True) for i in range(30))
+        spinups = [e for e in events if isinstance(e, SpinUpFailed)]
+        io = [e for e in events if isinstance(e, FaultInjected)]
+        assert len(spinups) == inj.spinup_failures > 0
+        assert len(io) == inj.io_errors > 0
+        assert all(e.delay_s > 0 and e.attempt >= 1 for e in spinups + io)
+        assert all(e.fault == "io_error" for e in io)
+        assert total == pytest.approx(inj.injected_delay_s)
+        assert total == pytest.approx(
+            sum(e.delay_s for e in spinups) + sum(e.delay_s for e in io)
+        )
