@@ -13,8 +13,11 @@ the event vocabulary and the emission sites stay in sync:
 
 Event classes are recognised structurally: any class transitively
 subclassing a class named ``Event``. Emission sites are calls whose
-target is (or ends in) ``probe`` — the codebase's publishing
-convention (``self.probe(...)``, bare ``probe(...)``).
+target is (or ends in) one of the publishing conventions — the
+engine's ``self.probe(...)``/bare ``probe(...)``, the generic
+``emit``/``publish``, and the serve daemon's direct-dispatch
+``self.bus(...)`` (an :class:`~repro.observe.bus.EventBus` is
+callable).
 """
 
 from __future__ import annotations
@@ -28,8 +31,9 @@ from repro.check.project import ModuleInfo, Project
 
 EVENT_BASE = "Event"
 
-#: Call targets treated as event publishers.
-_PROBE_NAMES = frozenset({"probe", "emit", "publish"})
+#: Call targets treated as event publishers. ``bus`` covers the serve
+#: daemon's direct EventBus dispatch (``self.bus(Event(...))``).
+_PROBE_NAMES = frozenset({"probe", "emit", "publish", "bus"})
 
 
 def _event_class_names(project: Project) -> set[str]:

@@ -8,6 +8,7 @@ Main subcommands::
     python -m repro compare trace.csv -p lru -p pa-lru   # normalized table
     python -m repro campaign spec.json --workers 4 --cache-dir .cache
     python -m repro faults trace.csv --matrix      # crash-recovery audit
+    python -m repro serve -p pa-lru --tcp-port 7777  # live ingest daemon
 
 ``generate`` accepts ``oltp``, ``cello``, or ``synthetic`` and the most
 useful generator knobs; ``simulate``/``compare`` accept any policy from
@@ -210,6 +211,93 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--log-region-blocks", type=int, default=4096,
         help="WTDU log-region capacity in blocks (default 4096)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the online service daemon — live request ingest in "
+        "simulated-time lockstep (see repro.serve)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--tcp-port", type=int, default=0,
+        help="line-protocol port (0 = ephemeral, printed in READY)",
+    )
+    serve.add_argument(
+        "--http-port", type=int, default=0,
+        help="/metrics + /ingest port (0 = ephemeral, printed in READY)",
+    )
+    serve.add_argument(
+        "-p", "--policy", choices=POLICY_NAMES, default="lru",
+        help="replacement policy (offline policies cannot serve live)",
+    )
+    serve.add_argument("--disks", type=int, default=4)
+    serve.add_argument("--cache-blocks", type=int, default=2048)
+    serve.add_argument(
+        "--dpm", choices=("practical", "oracle", "always_on"),
+        default="practical",
+    )
+    serve.add_argument(
+        "-w", "--write-policy", choices=WRITE_POLICY_NAMES,
+        default="write-back",
+    )
+    serve.add_argument("--prefetch-depth", type=int, default=0)
+    serve.add_argument(
+        "--time-dilation", type=float, default=1.0,
+        help="simulated seconds per wall second (default 1.0)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=4096,
+        help="bounded ingest queue size; overflow answers RETRY",
+    )
+    serve.add_argument("--batch-max", type=int, default=256)
+    serve.add_argument(
+        "--tick-interval", type=float, default=0.05,
+        help="idle watermark-advance period in wall seconds",
+    )
+    serve.add_argument(
+        "--feed-delay", type=float, default=0.0,
+        help="test throttle: sleep this many wall seconds after each "
+        "fed batch (provokes backpressure deterministically)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir", default=None,
+        help="enable checkpointing (POST /checkpoint, --checkpoint-every, "
+        "and a final checkpoint on drain) into this directory",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="also checkpoint every N served requests",
+    )
+    serve.add_argument(
+        "--restore", default=None, metavar="CHECKPOINT",
+        help="restore from a checkpoint file and continue serving",
+    )
+    serve.add_argument(
+        "--load-gen", action="store_true",
+        help="run the load generator against an existing daemon "
+        "instead of serving (needs --tcp-port)",
+    )
+    serve.add_argument(
+        "--users", type=int, default=8, help="load-gen: concurrent users"
+    )
+    serve.add_argument(
+        "--requests", type=int, default=10_000,
+        help="load-gen: total requests to send",
+    )
+    serve.add_argument(
+        "--workload", choices=("zipf", "oltp"), default="zipf",
+        help="load-gen: synthetic request mix",
+    )
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument(
+        "--pace", type=float, default=0.0,
+        help="load-gen: wall seconds between a user's requests",
+    )
+    serve.add_argument(
+        "--explicit-time-base", type=float, default=None, metavar="T",
+        help="load-gen: pin explicit t= stamps offset by T (needs "
+        "--users 1; makes the daemon's timeline deterministic)",
     )
 
     check = sub.add_parser(
@@ -599,6 +687,67 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.serve.daemon import ServeConfig, serve_until_drained
+    from repro.serve.loadgen import LoadConfig, run_load
+
+    if args.load_gen:
+        if not args.tcp_port:
+            raise ConfigurationError(
+                "--load-gen needs --tcp-port of a running daemon"
+            )
+        report = asyncio.run(
+            run_load(
+                LoadConfig(
+                    host=args.host,
+                    port=args.tcp_port,
+                    users=args.users,
+                    requests=args.requests,
+                    workload=args.workload,
+                    num_disks=args.disks,
+                    seed=args.seed,
+                    pace_s=args.pace,
+                    explicit_time_base=args.explicit_time_base,
+                )
+            )
+        )
+        print(json.dumps(report.to_dict(), sort_keys=True))
+        return 1 if report.errors else 0
+
+    if args.policy in ("belady", "opg"):
+        raise ConfigurationError(
+            f"offline policy {args.policy!r} needs the whole trace up "
+            "front and cannot serve live requests"
+        )
+    config = ServeConfig(
+        host=args.host,
+        tcp_port=args.tcp_port,
+        http_port=args.http_port,
+        time_dilation=args.time_dilation,
+        queue_capacity=args.queue_capacity,
+        batch_max=args.batch_max,
+        tick_interval_s=args.tick_interval,
+        feed_delay_s=args.feed_delay,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        restore_path=args.restore,
+        session_params={
+            "policy": args.policy,
+            "num_disks": args.disks,
+            "cache_blocks": args.cache_blocks,
+            "dpm": args.dpm,
+            "write_policy": args.write_policy,
+            "prefetch_depth": args.prefetch_depth,
+        },
+    )
+    daemon = asyncio.run(serve_until_drained(config))
+    return daemon.exit_code
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import main as bench_main
 
@@ -619,6 +768,7 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "campaign": _cmd_campaign,
     "faults": _cmd_faults,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
     "check": _cmd_check,
 }

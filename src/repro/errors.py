@@ -64,6 +64,16 @@ class InvariantViolation(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """The online service mode hit a protocol or lifecycle error.
+
+    Examples: a malformed ingest line, an ingest attempted after drain
+    began, or a checkpoint file that cannot be parsed. Backpressure is
+    *not* an error — a full ingest queue produces an explicit
+    ``RETRY`` response, never an exception.
+    """
+
+
 class CampaignError(ReproError):
     """An experiment campaign could not be executed or completed.
 

@@ -22,15 +22,19 @@ from repro.observe.events import (
     EVENT_TYPES,
     CacheHit,
     CacheMiss,
+    CheckpointTaken,
     DirtyFlush,
     DiskFinalized,
     DiskReclassified,
     DiskService,
     DiskSpinDown,
     DiskSpinUp,
+    DrainStarted,
     EpochRollover,
     Event,
     Evict,
+    IngestAccepted,
+    IngestRejected,
     Insert,
     LogAppend,
     LogFlush,
@@ -40,29 +44,39 @@ from repro.observe.events import (
     StateDwell,
 )
 from repro.observe.invariants import InvariantChecker
-from repro.observe.sinks import JSONLSink, MetricsSink, RingBufferSink
+from repro.observe.sinks import (
+    JSONLSink,
+    MetricsSink,
+    P2Quantile,
+    RingBufferSink,
+)
 
 __all__ = [
     "EVENT_TYPES",
     "CacheHit",
     "CacheMiss",
+    "CheckpointTaken",
     "DirtyFlush",
     "DiskFinalized",
     "DiskReclassified",
     "DiskService",
     "DiskSpinDown",
     "DiskSpinUp",
+    "DrainStarted",
     "EpochRollover",
     "Event",
     "EventBus",
     "EventSink",
     "Evict",
+    "IngestAccepted",
+    "IngestRejected",
     "Insert",
     "InvariantChecker",
     "JSONLSink",
     "LogAppend",
     "LogFlush",
     "MetricsSink",
+    "P2Quantile",
     "RequestComplete",
     "RingBufferSink",
     "SimulationStart",

@@ -12,12 +12,23 @@ are anything with a ``handle(event)`` method (see
 :class:`EventSink`); order matters when a sink raises — the
 :class:`~repro.observe.invariants.InvariantChecker` is usually attached
 last so recording sinks capture the offending event first.
+
+Sink exceptions are **isolated**: a sink that raises must not abort the
+simulation it is merely observing, so the bus warns once per failing
+sink, keeps a per-sink error count (:meth:`EventBus.sink_errors`), and
+continues dispatching to every sink — including the failed one, which
+may recover. The single deliberate exception is
+:class:`~repro.errors.InvariantViolation`: the invariant checker's
+whole job is to abort a run whose event stream is inconsistent, so it
+always propagates.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterator
 
+from repro.errors import InvariantViolation
 from repro.observe.events import Event
 
 
@@ -56,12 +67,14 @@ class EventBus:
         result = run_simulation(trace, "lru", ..., probe=bus)
     """
 
-    __slots__ = ("_sinks",)
+    __slots__ = ("_sinks", "_errors")
 
     def __init__(self, *sinks: EventSink) -> None:
         self._sinks: list[EventSink] = [
             s if hasattr(s, "handle") else _CallableSink(s) for s in sinks
         ]
+        #: Per-sink exception tallies, keyed by sink identity.
+        self._errors: dict[int, int] = {}
 
     def attach(self, sink) -> EventSink:
         """Add a sink (bare callables are adapted); returns it."""
@@ -75,7 +88,32 @@ class EventBus:
 
     def __call__(self, event: Event) -> None:
         for sink in self._sinks:
-            sink.handle(event)
+            try:
+                sink.handle(event)
+            except InvariantViolation:
+                raise  # deliberate: an inconsistent stream must abort
+            except Exception as exc:
+                key = id(sink)
+                count = self._errors.get(key, 0)
+                self._errors[key] = count + 1
+                if count == 0:
+                    warnings.warn(
+                        f"event sink {sink!r} raised "
+                        f"{type(exc).__name__}: {exc}; isolating it — "
+                        "the simulation continues and further errors "
+                        "from this sink are counted silently",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+
+    def sink_errors(self) -> dict[EventSink, int]:
+        """Exception counts for sinks that raised during dispatch."""
+        by_id = {id(s): s for s in self._sinks}
+        return {
+            by_id[key]: count
+            for key, count in self._errors.items()
+            if key in by_id
+        }
 
     def __iter__(self) -> Iterator[EventSink]:
         return iter(self._sinks)

@@ -1,0 +1,104 @@
+"""Checkpoint files: persist and restore live sessions.
+
+The on-disk format mirrors the replay-based
+:class:`~repro.sim.session.SessionCheckpoint`: a single JSON document
+
+.. code-block:: json
+
+    {
+      "format": "repro-serve-checkpoint",
+      "version": 1,
+      "params": {"policy": "pa-lru", "...": "..."},
+      "watermark": 1234.5,
+      "served": 10000,
+      "requests": [[time, disk, block, nblocks, is_write], ...]
+    }
+
+written atomically (temp file + rename, the
+:class:`~repro.campaign.store.ResultStore` discipline) so a crash
+mid-checkpoint never leaves a truncated file behind. Restore rebuilds
+the session from ``params`` and replays ``requests`` — the simulator
+is deterministic, so the restored daemon's continuation is
+bit-identical to one that never stopped (enforced by the property
+test and the serve-smoke CI job).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ServeError
+from repro.sim.session import SessionCheckpoint
+
+FORMAT_NAME = "repro-serve-checkpoint"
+FORMAT_VERSION = 1
+
+#: Checkpoint files are named ``checkpoint-<served>.json``.
+FILE_PREFIX = "checkpoint-"
+FILE_SUFFIX = ".json"
+
+
+def save_checkpoint(checkpoint: SessionCheckpoint, path: str | Path) -> Path:
+    """Write one checkpoint atomically; returns the final path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        **checkpoint.to_dict(),
+    }
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w") as fh:
+        json.dump(document, fh, separators=(",", ":"))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def checkpoint_path(directory: str | Path, served: int) -> Path:
+    return Path(directory) / f"{FILE_PREFIX}{served:012d}{FILE_SUFFIX}"
+
+
+def load_checkpoint(path: str | Path) -> SessionCheckpoint:
+    """Read and validate one checkpoint file."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ServeError(f"no checkpoint at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ServeError(f"corrupt checkpoint {path}: {exc}") from exc
+    if document.get("format") != FORMAT_NAME:
+        raise ServeError(
+            f"{path} is not a serve checkpoint "
+            f"(format={document.get('format')!r})"
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise ServeError(
+            f"{path} has unsupported checkpoint version "
+            f"{document.get('version')!r} (expected {FORMAT_VERSION})"
+        )
+    try:
+        return SessionCheckpoint.from_dict(document)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServeError(f"corrupt checkpoint {path}: {exc}") from exc
+
+
+def latest_checkpoint(directory: str | Path) -> Path | None:
+    """The newest checkpoint file in a directory, or ``None``.
+
+    "Newest" means most requests served — encoded in the zero-padded
+    file name, so lexicographic order is request order.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates = sorted(
+        p
+        for p in directory.iterdir()
+        if p.name.startswith(FILE_PREFIX) and p.name.endswith(FILE_SUFFIX)
+    )
+    return candidates[-1] if candidates else None

@@ -1,0 +1,83 @@
+"""The lockstep simulation clock.
+
+The daemon advances the engine in *simulated-time lockstep with wall
+time*: a request arriving ``w`` wall-seconds after the daemon started
+is stamped ``base + w * time_dilation`` simulated seconds, where
+``time_dilation`` scales how fast simulated time runs (10.0 = a
+10-minute OLTP epoch elapses in one wall minute; handy because the
+paper's DPM thresholds are tens of simulated seconds).
+
+Wall time is read from ``time.monotonic`` (never the wall *clock* —
+simulation state must not depend on the calendar; the determinism
+lint enforces this), and stamps are monotonically non-decreasing even
+if the platform monotonic clock misbehaves: the stamp watermark is a
+floor. Restored daemons resume from the checkpoint watermark, so
+simulated time never runs backwards across a restore either.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ConfigurationError
+
+
+class LockstepClock:
+    """Maps wall time onto the simulated timeline.
+
+    Args:
+        time_dilation: Simulated seconds per wall second (> 0).
+        base: Simulated time at which this clock starts (a restored
+            daemon passes the checkpoint watermark).
+        now_fn: Wall-time source; injectable for tests. Defaults to
+            ``time.monotonic``.
+    """
+
+    __slots__ = ("time_dilation", "_base", "_now_fn", "_wall_start", "_floor")
+
+    def __init__(
+        self,
+        time_dilation: float = 1.0,
+        *,
+        base: float = 0.0,
+        now_fn=time.monotonic,
+    ) -> None:
+        if time_dilation <= 0:
+            raise ConfigurationError(
+                f"time_dilation must be > 0, got {time_dilation}"
+            )
+        if base < 0:
+            raise ConfigurationError(f"base must be >= 0, got {base}")
+        self.time_dilation = time_dilation
+        self._base = base
+        self._now_fn = now_fn
+        self._wall_start = now_fn()
+        self._floor = base
+
+    def now(self) -> float:
+        """Current simulated time (never decreasing)."""
+        sim = (
+            self._base
+            + (self._now_fn() - self._wall_start) * self.time_dilation
+        )
+        if sim > self._floor:
+            self._floor = sim
+        return self._floor
+
+    def stamp(self, floor: float = 0.0) -> float:
+        """A simulated arrival stamp ``>= floor`` and ``>= `` all
+        previous stamps — the non-decreasing trace-order guarantee the
+        engine requires."""
+        if floor > self._floor:
+            self._floor = floor
+        return self.now()
+
+    def ratchet(self, floor: float) -> None:
+        """Raise the monotone floor (e.g. an explicit-time ingest)."""
+        if floor > self._floor:
+            self._floor = floor
+
+    @property
+    def floor(self) -> float:
+        """The monotone watermark (last stamp or better)."""
+        return self._floor

@@ -1,0 +1,85 @@
+"""Text rendering for the ``/metrics`` endpoint.
+
+A Prometheus-style exposition built from the
+:meth:`~repro.observe.sinks.MetricsSink.snapshot` counters (O(1) —
+no waiting for finalize) plus daemon gauges (queue depth, simulated
+time, served count). Per-disk power-state dwell comes from the sink's
+per-disk maps; those lines are inherently O(disks), which is the
+exposition format's cost, not the snapshot's.
+"""
+
+from __future__ import annotations
+
+from repro.observe.sinks import MetricsSink
+
+#: (snapshot key, metric name, help text) — the scalar series.
+_SCALARS = (
+    ("requests", "repro_requests_total", "requests served"),
+    ("hits", "repro_cache_hits_total", "cache hits"),
+    ("misses", "repro_cache_misses_total", "cache misses"),
+    ("hit_ratio", "repro_cache_hit_ratio", "hits / accesses"),
+    ("evictions", "repro_cache_evictions_total", "cache evictions"),
+    ("dirty_flushes", "repro_dirty_flushes_total", "dirty writebacks"),
+    ("spinups", "repro_disk_spinups_total", "disk spin-ups"),
+    ("spindowns", "repro_disk_spindowns_total", "disk spin-downs"),
+    ("epochs", "repro_classifier_epochs_total", "PA epochs rolled"),
+    ("energy_so_far_j", "repro_energy_joules_total",
+     "streamed disk energy so far"),
+    ("mean_latency_s", "repro_request_latency_mean_seconds",
+     "mean request latency"),
+    ("ingest_accepted", "repro_ingest_accepted_total",
+     "live requests accepted into the queue"),
+    ("ingest_rejected", "repro_ingest_rejected_total",
+     "live requests rejected with RETRY (backpressure)"),
+    ("ingest_queue_depth", "repro_ingest_queue_depth",
+     "ingest queue depth at last ingest event"),
+)
+
+_QUANTILE_KEYS = (
+    ("p50_latency_s", "0.5"),
+    ("p95_latency_s", "0.95"),
+    ("p99_latency_s", "0.99"),
+)
+
+
+def render_metrics(
+    sink: MetricsSink,
+    gauges: dict[str, float] | None = None,
+) -> str:
+    """Render the live metrics text page.
+
+    ``gauges`` are extra daemon-level series (``repro_`` prefix added),
+    e.g. simulated time, wall uptime, queue depth right now.
+    """
+    snapshot = sink.snapshot()
+    lines: list[str] = []
+    for key, name, help_text in _SCALARS:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"{name} {snapshot[key]!r}")
+    lines.append(
+        "# HELP repro_request_latency_seconds streaming latency quantiles"
+    )
+    for key, quantile in _QUANTILE_KEYS:
+        lines.append(
+            "repro_request_latency_seconds"
+            f'{{quantile="{quantile}"}} {snapshot[key]!r}'
+        )
+    lines.append(
+        "# HELP repro_disk_dwell_seconds per-disk power-state dwell "
+        "streamed so far"
+    )
+    for disk in sorted(sink.disk_dwell_s):
+        lines.append(
+            f'repro_disk_dwell_seconds{{disk="{disk}"}} '
+            f"{sink.disk_dwell_s[disk]!r}"
+        )
+    lines.append("# HELP repro_disk_energy_joules per-disk streamed energy")
+    for disk in sorted(sink.disk_energy_j):
+        lines.append(
+            f'repro_disk_energy_joules{{disk="{disk}"}} '
+            f"{sink.disk_energy_j[disk]!r}"
+        )
+    if gauges:
+        for key in sorted(gauges):
+            lines.append(f"repro_{key} {gauges[key]!r}")
+    return "\n".join(lines) + "\n"

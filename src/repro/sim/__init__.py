@@ -18,9 +18,12 @@ from repro.sim.runner import (
     POLICY_NAMES,
     WRITE_POLICY_NAMES,
     build_policy,
+    build_session,
     build_write_policy,
+    restore_session,
     run_simulation,
 )
+from repro.sim.session import SessionCheckpoint, SimulationSession
 from repro.sim.sweep import SweepPoint, SweepResult, grid_sweep
 
 __all__ = [
@@ -28,6 +31,8 @@ __all__ = [
     "ClosedLoopSimulator",
     "HotCoolWorkload",
     "POLICY_NAMES",
+    "SessionCheckpoint",
+    "SimulationSession",
     "SweepPoint",
     "SweepResult",
     "grid_sweep",
@@ -37,6 +42,8 @@ __all__ = [
     "StorageSimulator",
     "WRITE_POLICY_NAMES",
     "build_policy",
+    "build_session",
     "build_write_policy",
+    "restore_session",
     "run_simulation",
 ]

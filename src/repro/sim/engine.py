@@ -173,19 +173,36 @@ class StorageSimulator:
         self._disk_reads = 0
         self._ran = False
 
+    def prepare_offline(self) -> None:
+        """Prepare an offline policy from the constructor trace.
+
+        No-op for online policies. Called by :meth:`run`; incremental
+        drivers (:class:`~repro.sim.session.SimulationSession`, the
+        crash harness) that bypass :meth:`run` but still know the whole
+        trace up front may call it directly before feeding.
+        """
+        if isinstance(self.policy, OfflinePolicy):
+            accesses = (
+                self.trace.iter_accesses()
+                if isinstance(self.trace, ColumnarTrace)
+                else iter_accesses(self.trace)
+            )
+            self.policy.prepare(accesses)
+
     def run(self) -> SimulationResult:
-        """Execute the simulation; may be called once per instance."""
+        """Execute the simulation; may be called once per instance.
+
+        This is the batch drive style; :meth:`handle_request` +
+        :meth:`finish` (wrapped by
+        :class:`~repro.sim.session.SimulationSession`) is the
+        incremental one. Both produce identical results for identical
+        request streams — the differential tests pin it.
+        """
         if self._ran:
             raise TraceError("simulator instances are single-use")
         self._ran = True
         columnar = isinstance(self.trace, ColumnarTrace)
-        if isinstance(self.policy, OfflinePolicy):
-            accesses = (
-                self.trace.iter_accesses()
-                if columnar
-                else iter_accesses(self.trace)
-            )
-            self.policy.prepare(accesses)
+        self.prepare_offline()
         if self.probe is not None:
             start = self.trace[0].time if len(self.trace) else 0.0
             self.probe(

@@ -3,6 +3,14 @@
 The benchmarks and examples all funnel through :func:`run_simulation`,
 which builds the configured policy, write policy, and simulator, runs
 it, and returns the :class:`~repro.sim.results.SimulationResult`.
+
+Both the batch path and the online service mode are expressed on the
+same incremental core: :func:`build_session` assembles a
+:class:`~repro.sim.session.SimulationSession` from the by-name
+parameters, ``run_simulation`` drives it with
+:meth:`~repro.sim.session.SimulationSession.run_batch`, and the
+``repro serve`` daemon drives an identically-built session with
+:meth:`~repro.sim.session.SimulationSession.feed`.
 """
 
 from __future__ import annotations
@@ -45,6 +53,11 @@ from repro.power.specs import build_power_model
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import StorageSimulator
 from repro.sim.results import SimulationResult
+from repro.sim.session import (
+    SessionCheckpoint,
+    SimulationSession,
+    replay_checkpoint,
+)
 from repro.traces.record import IORequest
 
 POLICY_NAMES = (
@@ -223,14 +236,110 @@ def run_simulation(
             "fault_plan carries a crash point, which run_simulation would "
             "silently ignore; use repro.faults.run_crash_scenario instead"
         )
+    check_invariants = os.environ.get("REPRO_CHECK_INVARIANTS", "") not in (
+        "",
+        "0",
+    )
+    metrics: MetricsSink | None = None
+    effective_probe = probe
+    bus: EventBus | None = None
+    if trace_events or trace_file is not None or check_invariants:
+        bus = EventBus()
+        if trace_events:
+            metrics = bus.attach(MetricsSink())
+        if trace_file is not None:
+            bus.attach(JSONLSink(trace_file))
+        if check_invariants:
+            bus.attach(InvariantChecker())
+        if probe is not None:
+            bus.attach(probe)
+        effective_probe = bus
+    session = build_session(
+        trace,
+        policy,
+        num_disks=num_disks,
+        cache_blocks=cache_blocks,
+        dpm=dpm,
+        write_policy=write_policy,
+        theta=theta,
+        pa_alpha=pa_alpha,
+        pa_p=pa_p,
+        pa_epoch_s=pa_epoch_s,
+        wbeu_dirty_threshold=wbeu_dirty_threshold,
+        log_region_blocks=log_region_blocks,
+        flush_interval_s=flush_interval_s,
+        prefetch_depth=prefetch_depth,
+        label=label,
+        config=config,
+        probe=effective_probe,
+        fault_plan=fault_plan,
+    )
+    try:
+        result = session.run_batch()
+    finally:
+        if bus is not None:
+            bus.close()
+    if metrics is not None:
+        result = dataclasses.replace(result, trace_metrics=metrics.as_dict())
+    return result
+
+
+def build_session(
+    trace: Sequence[IORequest] = (),
+    policy: str = "lru",
+    *,
+    num_disks: int,
+    cache_blocks: int | None,
+    dpm: str = "practical",
+    write_policy: str = "write-back",
+    theta: float = 0.0,
+    pa_alpha: float = 0.5,
+    pa_p: float = 0.8,
+    pa_epoch_s: float = 900.0,
+    wbeu_dirty_threshold: int = 1024,
+    log_region_blocks: int = 4096,
+    flush_interval_s: float = 30.0,
+    prefetch_depth: int = 0,
+    label: str | None = None,
+    config: SimulationConfig | None = None,
+    probe=None,
+    fault_plan: FaultPlan | None = None,
+    record_requests: bool = False,
+) -> SimulationSession:
+    """Assemble a :class:`SimulationSession` from by-name parameters.
+
+    The shared construction path under both drive styles: batch runs
+    pass the trace and call ``run_batch()``; live sessions (the ``repro
+    serve`` daemon, the checkpoint tests) pass no trace and ``feed()``
+    stamped batches. When ``config`` is ``None`` the by-name parameters
+    are kept as the session's rebuild recipe, making it checkpointable
+    (with ``record_requests=True``).
+    """
     if policy.lower() == "infinite":
         cache_blocks = None
+    rebuild_params = None
     if config is None:
         config = SimulationConfig(
             num_disks=num_disks,
             cache_capacity_blocks=cache_blocks,
             dpm=dpm,
         )
+        rebuild_params = {
+            "policy": policy,
+            "num_disks": num_disks,
+            "cache_blocks": cache_blocks,
+            "dpm": dpm,
+            "write_policy": write_policy,
+            "theta": theta,
+            "pa_alpha": pa_alpha,
+            "pa_p": pa_p,
+            "pa_epoch_s": pa_epoch_s,
+            "wbeu_dirty_threshold": wbeu_dirty_threshold,
+            "log_region_blocks": log_region_blocks,
+            "flush_interval_s": flush_interval_s,
+            "prefetch_depth": prefetch_depth,
+            "label": label,
+        }
     replacement = build_policy(
         policy,
         config,
@@ -251,24 +360,6 @@ def run_simulation(
         if prefetch_depth > 0
         else None
     )
-    check_invariants = os.environ.get("REPRO_CHECK_INVARIANTS", "") not in (
-        "",
-        "0",
-    )
-    metrics: MetricsSink | None = None
-    effective_probe = probe
-    bus: EventBus | None = None
-    if trace_events or trace_file is not None or check_invariants:
-        bus = EventBus()
-        if trace_events:
-            metrics = bus.attach(MetricsSink())
-        if trace_file is not None:
-            bus.attach(JSONLSink(trace_file))
-        if check_invariants:
-            bus.attach(InvariantChecker())
-        if probe is not None:
-            bus.attach(probe)
-        effective_probe = bus
     simulator = StorageSimulator(
         trace,
         config,
@@ -276,14 +367,25 @@ def run_simulation(
         write_policy=writer,
         prefetcher=prefetcher,
         label=label or ("infinite" if cache_blocks is None else policy),
-        probe=effective_probe,
+        probe=probe,
         fault_plan=fault_plan,
     )
-    try:
-        result = simulator.run()
-    finally:
-        if bus is not None:
-            bus.close()
-    if metrics is not None:
-        result = dataclasses.replace(result, trace_metrics=metrics.as_dict())
-    return result
+    return SimulationSession(
+        simulator,
+        rebuild_params=rebuild_params,
+        record_requests=record_requests,
+    )
+
+
+def restore_session(
+    checkpoint: SessionCheckpoint, *, probe=None
+) -> SimulationSession:
+    """Rebuild a checkpointed session by replaying its request prefix.
+
+    The restored session has served exactly the checkpointed requests;
+    feeding it the remaining stream continues bit-identically to a
+    session that was never checkpointed (the property test in
+    ``tests/sim/test_session.py`` spreads restore points across whole
+    traces to prove it).
+    """
+    return replay_checkpoint(checkpoint, build_session, probe=probe)

@@ -20,3 +20,8 @@ class NotAnEvent:
 def run(bus, t):
     bus.probe(SeenEvent())
     bus.probe(NotAnEvent())  # emitting a non-Event payload -> error
+
+
+def serve(bus, t):
+    bus(SeenEvent())
+    bus(NotAnEvent())  # direct EventBus dispatch is an emission too

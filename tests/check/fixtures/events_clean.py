@@ -17,3 +17,7 @@ def run(bus):
     bus.probe(TickEvent())
     pre_built = TickEvent()
     bus.emit(pre_built)  # variable payloads are fine
+
+
+def serve(bus):
+    bus(TickEvent())  # direct EventBus dispatch (the serve daemon idiom)

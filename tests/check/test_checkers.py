@@ -76,9 +76,10 @@ class TestEvents:
         report = check_fixture("events_bad.py", select=["events"])
         msgs = _messages(report.errors)
         assert "probe() called with NotAnEvent(...)" in msgs
+        assert "bus() called with NotAnEvent(...)" in msgs
         dead = _messages(report.warnings)
         assert "DeadEvent is never constructed" in dead
-        assert len(report.errors) == 1
+        assert len(report.errors) == 2
         assert len(report.warnings) == 1
 
     def test_silent_on_clean_twin(self, check_fixture):

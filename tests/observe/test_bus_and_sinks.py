@@ -15,6 +15,7 @@ from repro.observe import (
     Insert,
     JSONLSink,
     MetricsSink,
+    P2Quantile,
     RequestComplete,
     RingBufferSink,
     StateDwell,
@@ -153,3 +154,163 @@ class TestMetricsSink:
         json.dumps(snapshot)  # must not raise
         assert list(snapshot["events"]) == sorted(snapshot["events"])
         assert snapshot["mean_latency_s"] == pytest.approx(0.011)
+
+
+class TestSinkIsolation:
+    """Regression: a raising sink must not abort the simulation."""
+
+    class Exploder(EventSink):
+        def handle(self, event):
+            raise RuntimeError("boom")
+
+    def test_raising_sink_is_isolated_and_warned_once(self):
+        good = []
+        bus = EventBus()
+        bus.attach(self.Exploder())
+        bus.attach(good.append)
+        with pytest.warns(RuntimeWarning, match="boom"):
+            bus(CacheHit(0.0, 0, 1, False))
+        # subsequent dispatches: no further warning, stream keeps flowing
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            bus(CacheHit(1.0, 0, 2, False))
+        assert [e.kind for e in good] == ["cache_hit", "cache_hit"]
+        (count,) = bus.sink_errors().values()
+        assert count == 2
+
+    def test_sinks_after_the_raising_one_still_see_the_event(self):
+        order = []
+        bus = EventBus()
+        bus.attach(lambda e: order.append("first"))
+        bus.attach(self.Exploder())
+        bus.attach(lambda e: order.append("last"))
+        with pytest.warns(RuntimeWarning):
+            bus(CacheHit(0.0, 0, 1, False))
+        assert order == ["first", "last"]
+
+    def test_invariant_violation_still_propagates(self):
+        from repro.errors import InvariantViolation
+
+        class Checker(EventSink):
+            def handle(self, event):
+                raise InvariantViolation("stream is inconsistent")
+
+        bus = EventBus()
+        bus.attach(Checker())
+        with pytest.raises(InvariantViolation):
+            bus(CacheHit(0.0, 0, 1, False))
+
+
+class TestP2Quantile:
+    def test_exact_for_small_samples(self):
+        q = P2Quantile(0.5)
+        for x in (3.0, 1.0, 2.0):
+            q.add(x)
+        assert q.value() == 2.0
+        assert q.count == 3
+
+    def test_empty_estimator_reads_zero(self):
+        assert P2Quantile(0.95).value() == 0.0
+
+    def test_converges_on_uniform_stream(self):
+        import random
+
+        rng = random.Random(1234)
+        estimators = {q: P2Quantile(q) for q in (0.5, 0.95, 0.99)}
+        for _ in range(20_000):
+            x = rng.random()
+            for est in estimators.values():
+                est.add(x)
+        for q, est in estimators.items():
+            assert est.value() == pytest.approx(q, abs=0.02)
+
+    def test_rejects_degenerate_quantiles(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+class TestLiveSnapshot:
+    """Satellite: the O(1) live view behind /metrics."""
+
+    def test_snapshot_counters_and_quantiles(self):
+        sink = MetricsSink()
+        for e in events_sample():
+            sink.handle(e)
+        for i in range(100):
+            sink.handle(RequestComplete(3.0 + i, 0, 0.001 * (i + 1), False, 1))
+        snap = sink.snapshot()
+        assert snap["requests"] == 101
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["hit_ratio"] == pytest.approx(0.5)
+        assert snap["energy_so_far_j"] == pytest.approx(12.635)
+        assert snap["p50_latency_s"] == pytest.approx(0.050, abs=0.01)
+        assert snap["p99_latency_s"] >= snap["p95_latency_s"] >= snap["p50_latency_s"]
+        json.dumps(snap)  # must be JSON-safe as-is
+
+    def test_snapshot_tracks_ingest_events(self):
+        from repro.observe import IngestAccepted, IngestRejected
+
+        sink = MetricsSink()
+        sink.handle(IngestAccepted(1.0, 0, 3))
+        sink.handle(IngestAccepted(2.0, 1, 4))
+        sink.handle(IngestRejected(3.0, 0.5, 4))
+        snap = sink.snapshot()
+        assert snap["ingest_accepted"] == 2
+        assert snap["ingest_rejected"] == 1
+        assert snap["ingest_queue_depth"] == 4
+
+    def test_finalize_aggregate_is_unchanged_by_live_tracking(self):
+        """as_dict keys stay exactly what trace_metrics always carried."""
+        sink = MetricsSink()
+        for e in events_sample():
+            sink.handle(e)
+        assert set(sink.as_dict()) == {
+            "events", "disk_energy_j", "total_energy_j", "spinups",
+            "spindowns", "hits", "misses", "evictions", "dirty_flushes",
+            "requests", "mean_latency_s", "epochs",
+        }
+
+
+class TestEventVocabulary:
+    """Golden vocabulary: kind tags are load-bearing in journals."""
+
+    def test_serve_events_are_in_the_vocabulary(self):
+        for kind in (
+            "ingest_accepted",
+            "ingest_rejected",
+            "checkpoint_taken",
+            "drain_started",
+        ):
+            assert kind in EVENT_TYPES
+
+    def test_golden_kind_tags(self):
+        assert sorted(EVENT_TYPES) == [
+            "cache_hit",
+            "cache_miss",
+            "checkpoint_taken",
+            "dirty_flush",
+            "disk_finalized",
+            "disk_reclassified",
+            "disk_service",
+            "disk_spin_down",
+            "disk_spin_up",
+            "drain_started",
+            "epoch_rollover",
+            "evict",
+            "fault_injected",
+            "ingest_accepted",
+            "ingest_rejected",
+            "insert",
+            "log_append",
+            "log_flush",
+            "recovery_replay",
+            "request_complete",
+            "simulation_start",
+            "speed_change",
+            "spin_up_failed",
+            "state_dwell",
+        ]

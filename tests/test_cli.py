@@ -104,3 +104,32 @@ class TestReproduce:
         assert "more misses, less energy" in out
         assert "Figure 6(a)" in out
         assert "pa-lru" in out
+
+
+class TestServe:
+    def test_load_gen_needs_a_port(self, capsys):
+        code = main(["serve", "--load-gen"])
+        assert code == 2
+        assert "--tcp-port" in capsys.readouterr().err
+
+    def test_offline_policies_cannot_serve(self, capsys):
+        code = main(["serve", "-p", "opg"])
+        assert code == 2
+        assert "cannot serve live" in capsys.readouterr().err
+
+    def test_serve_flags_parse(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            [
+                "serve", "-p", "pa-lru", "--time-dilation", "25",
+                "--queue-capacity", "64", "--checkpoint-dir", "cps",
+                "--checkpoint-every", "1000", "--tcp-port", "7777",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.policy == "pa-lru"
+        assert args.time_dilation == 25.0
+        assert args.queue_capacity == 64
+        assert args.checkpoint_every == 1000
+        assert args.tcp_port == 7777
