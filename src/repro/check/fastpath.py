@@ -14,6 +14,14 @@ class to the frozenset of subclass names audited (or deliberately
 exempted); any subclass found in the scanned tree but missing from
 the registry is an error, and registry entries naming classes that no
 longer exist are warnings so the list cannot rot.
+
+The registry's ``"BatchKernel"`` key gates functions, not classes:
+every ``@batch_kernel``-decorated kernel entry point
+(:mod:`repro.core.kernels`) must be enumerated there, since each new
+kernel needs a scalar reference pinned by the equivalence suites
+before the fused loops may build on it. An unlisted decorated kernel
+is an error; a listed name with no matching decorated function is a
+stale-entry warning.
 """
 
 from __future__ import annotations
@@ -26,6 +34,40 @@ from repro.check.finding import Finding, Severity
 from repro.check.project import ModuleInfo, Project
 
 GATE_REGISTRY_NAME = "FAST_PATH_AUDITED"
+
+#: Registry key whose members are ``@batch_kernel`` functions, not
+#: subclasses of a gated base class.
+BATCH_KERNEL_KEY = "BatchKernel"
+BATCH_KERNEL_DECORATOR = "batch_kernel"
+
+
+def _decorator_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def find_batch_kernels(
+    project: Project,
+) -> list[tuple[ModuleInfo, ast.AST, str]]:
+    """Every ``@batch_kernel``-decorated function in the scanned tree."""
+    found = []
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if any(
+                _decorator_name(deco) == BATCH_KERNEL_DECORATOR
+                for deco in node.decorator_list
+            ):
+                found.append((module, node, node.name))
+    return found
 
 
 def _string_elements(node: ast.expr) -> list[str] | None:
@@ -111,6 +153,33 @@ class FastPathChecker(Checker):
             known = {info.name for info in project.iter_classes()}
             for base, audited in registry.items():
                 audited_set = set(audited)
+                if base == BATCH_KERNEL_KEY:
+                    kernels = find_batch_kernels(project)
+                    kernel_names = {name for _, _, name in kernels}
+                    for mod, node, name in kernels:
+                        if name in audited_set:
+                            continue
+                        yield self.finding(
+                            mod,
+                            node,
+                            f"kernel {name} is @{BATCH_KERNEL_DECORATOR}-"
+                            f"decorated but not listed in "
+                            f"{GATE_REGISTRY_NAME}[{BATCH_KERNEL_KEY!r}] "
+                            f"({gate_module.relpath}); pin it against a "
+                            "scalar reference in the kernel-equivalence "
+                            "suite and add it",
+                        )
+                    for name in sorted(audited_set - kernel_names):
+                        yield self.finding(
+                            gate_module,
+                            gate_node,
+                            f"{GATE_REGISTRY_NAME}[{BATCH_KERNEL_KEY!r}] "
+                            f"lists {name!r} but no such "
+                            f"@{BATCH_KERNEL_DECORATOR} function exists "
+                            "in the scanned tree; remove the stale entry",
+                            severity=Severity.WARNING,
+                        )
+                    continue
                 for info in project.subclasses_of(base):
                     if info.name in audited_set:
                         continue

@@ -38,15 +38,41 @@ class DiskTimeline:
 
     def __init__(self, start: float = 0.0, end: float = math.inf) -> None:
         self._times: list[float] = [start]
-        self._set: set[float] = {start}
         self.start = start
         self.end = end
+
+    @classmethod
+    def from_sorted(
+        cls, times, start: float = 0.0, end: float = math.inf
+    ) -> "DiskTimeline":
+        """Bulk-build from ascending unique times (vectorized seeding).
+
+        Produces exactly the state of inserting each time one by one —
+        the fused OPG prepare path uses it with the per-disk sorted
+        first-access sweep from :mod:`repro.core.kernels`. ``times``
+        may be any sequence (numpy array included) sorted strictly
+        ascending.
+        """
+        tl = cls(start=start, end=end)
+        seq = times.tolist() if hasattr(times, "tolist") else list(times)
+        if seq and seq[0] == start:
+            seq = seq[1:]
+        if seq and seq[0] < start:
+            # A time before the simulation epoch: fall back to the
+            # general insert to keep the list sorted.
+            for t in seq:
+                tl.insert(t)
+            return tl
+        tl._times.extend(seq)
+        return tl
 
     def __len__(self) -> int:
         return len(self._times)
 
     def __contains__(self, time: float) -> bool:
-        return time in self._set
+        times = self._times
+        i = bisect.bisect_left(times, time)
+        return i < len(times) and times[i] == time
 
     def neighbors(self, time: float) -> Neighbors:
         """Leader/follower for a prospective access at ``time``."""
@@ -60,6 +86,39 @@ class DiskTimeline:
         follower = times[i] if i < len(times) else self.end
         return Neighbors(leader=leader, follower=follower, coincident=False)
 
+    def neighbors_tuple(self, time: float) -> tuple[float, float, bool]:
+        """:meth:`neighbors` as a plain ``(leader, follower,
+        coincident)`` tuple — the fused OPG loop's allocation-free
+        variant (identical values, no dataclass construction)."""
+        times = self._times
+        i = bisect.bisect_left(times, time)
+        n = len(times)
+        if i < n and times[i] == time:
+            return (
+                times[i - 1] if i > 0 else self.start,
+                times[i + 1] if i + 1 < n else self.end,
+                True,
+            )
+        return (
+            times[i - 1] if i > 0 else self.start,
+            times[i] if i < n else self.end,
+            False,
+        )
+
+    def insert_tuple(self, time: float) -> tuple[float, float] | None:
+        """:meth:`insert` returning a plain ``(leader, follower)``
+        tuple (or ``None`` if already known) — fused-loop variant with
+        identical state effects."""
+        times = self._times
+        i = bisect.bisect_left(times, time)
+        n = len(times)
+        if i < n and times[i] == time:
+            return None
+        leader = times[i - 1] if i > 0 else self.start
+        follower = times[i] if i < n else self.end
+        times.insert(i, time)
+        return (leader, follower)
+
     def insert(self, time: float) -> Neighbors | None:
         """Add a known access time.
 
@@ -67,11 +126,12 @@ class DiskTimeline:
         (callers re-evaluate penalties of blocks in that gap), or
         ``None`` if the time was already known.
         """
-        if time in self._set:
+        times = self._times
+        i = bisect.bisect_left(times, time)
+        n = len(times)
+        if i < n and times[i] == time:
             return None
-        i = bisect.bisect_left(self._times, time)
-        leader = self._times[i - 1] if i > 0 else self.start
-        follower = self._times[i] if i < len(self._times) else self.end
-        self._times.insert(i, time)
-        self._set.add(time)
+        leader = times[i - 1] if i > 0 else self.start
+        follower = times[i] if i < n else self.end
+        times.insert(i, time)
         return Neighbors(leader=leader, follower=follower, coincident=False)

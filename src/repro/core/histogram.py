@@ -61,6 +61,32 @@ class IntervalHistogram:
         self.counts[index] += 1
         self.total += 1
 
+    def add_batch(self, intervals: Sequence[float]) -> None:
+        """Record many interval lengths at once.
+
+        Equivalent to calling :meth:`add` per value, but binned with
+        one vectorized histogram pass
+        (:func:`repro.core.kernels.histogram_counts`) when numpy is
+        available — the fused PA path buffers an epoch's intervals and
+        flushes them here.
+        """
+        if not len(intervals):
+            return
+        from repro.core import kernels
+
+        if not kernels.have_numpy():
+            for value in intervals:
+                self.add(value)
+            return
+        if min(intervals) < 0:
+            raise ValueError("intervals must be >= 0")
+        batched = kernels.histogram_counts(self.edges, intervals)
+        counts = self.counts
+        for index, count in enumerate(batched.tolist()):
+            if count:
+                counts[index] += count
+        self.total += len(intervals)
+
     def cdf(self, x: float) -> float:
         """P(interval <= x), by accumulated bin counts."""
         if self.total == 0:

@@ -17,19 +17,33 @@ The per-request response time is the slowest of its block accesses.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
+from heapq import heappop, heappush
+from math import inf
 from typing import Sequence
 
 from repro.cache.block import BlockState
 from repro.cache.cache import StorageCache
 from repro.cache.policies.base import OfflinePolicy, ReplacementPolicy
+from repro.cache.policies.lru import LRUPolicy
 from repro.cache.write.base import WritePolicy
 from repro.cache.write.write_back import WriteBackPolicy
 from repro.cache.write.wtdu import WTDUPolicy
+from repro.core import kernels
+from repro.core.bloom import BloomFilter
+from repro.core.classifier import DiskClass, DiskClassifier
+from repro.core.opg import OPGPolicy
+from repro.core.pa import PowerAwarePolicy
 from repro.core.prefetch import Prefetcher
 from repro.disk.array import DiskArray
 from repro.disk.disk import SimulatedDisk
 from repro.disk.multispeed import AllSpeedServiceDisk
-from repro.errors import ConfigurationError, SimulationError, TraceError
+from repro.errors import (
+    ConfigurationError,
+    PolicyError,
+    SimulationError,
+    TraceError,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.observe.events import RequestComplete, SimulationStart
@@ -48,6 +62,13 @@ from repro.traces.record import IORequest, iter_accesses
 #: i.e. the columnar/legacy equivalence tests and ``repro bench
 #: --check`` cover it. When you add a subclass, run those, then add its
 #: name; the checker fails the build until you do.
+#:
+#: The ``BatchKernel`` pseudo-base gates the vectorized kernels of
+#: :mod:`repro.core.kernels` the same way: every function carrying the
+#: ``@batch_kernel`` decorator must be listed here, asserting its
+#: property-test coverage against the scalar reference
+#: (``tests/property/test_kernel_equivalence.py``) and its use in a
+#: differentially-tested fused loop.
 FAST_PATH_AUDITED: dict[str, frozenset[str]] = {
     "ReplacementPolicy": frozenset(
         {
@@ -79,6 +100,17 @@ FAST_PATH_AUDITED: dict[str, frozenset[str]] = {
             "OracleDPM",
             "PracticalDPM",
             "AdaptiveThresholdDPM",
+        }
+    ),
+    "BatchKernel": frozenset(
+        {
+            "bloom_cold_mask",
+            "epoch_boundary_table",
+            "epoch_roll_counts",
+            "histogram_counts",
+            "histogram_quantile",
+            "next_access_arrays",
+            "first_times_by_disk",
         }
     ),
 }
@@ -182,12 +214,12 @@ class StorageSimulator:
         trace up front may call it directly before feeding.
         """
         if isinstance(self.policy, OfflinePolicy):
-            accesses = (
-                self.trace.iter_accesses()
-                if isinstance(self.trace, ColumnarTrace)
-                else iter_accesses(self.trace)
-            )
-            self.policy.prepare(accesses)
+            if isinstance(self.trace, ColumnarTrace):
+                # Vectorized where possible; falls back to the scalar
+                # prepare() internally (bit-identical either way).
+                self.policy.prepare_columnar(self.trace)
+            else:
+                self.policy.prepare(iter_accesses(self.trace))
 
     def run(self) -> SimulationResult:
         """Execute the simulation; may be called once per instance.
@@ -255,6 +287,9 @@ class StorageSimulator:
             )
         times, disks, blocks, nblocks, writes = trace.as_lists()
         if self.probe is None:
+            fused = self._fused_loop_for(trace)
+            if fused is not None:
+                return fused(trace, times, disks, blocks, writes)
             return self._run_columnar_fast(
                 times, disks, blocks, nblocks, writes
             )
@@ -492,6 +527,637 @@ class StorageSimulator:
         stats.misses += n_miss
         stats.cold_misses += n_cold
         stats.prefetch_hits += n_pf_hits
+        stats.evictions += n_evict
+        stats.dirty_evictions += n_dirty_evict
+        self._disk_reads += disk_reads
+        return time
+
+    def _fused_loop_for(self, trace: ColumnarTrace):
+        """Pick a policy-fused columnar loop, or ``None``.
+
+        The fused loops (``_run_columnar_fast_pa`` /
+        ``_run_columnar_fast_opg``) consume precomputed batch-kernel
+        plans (:mod:`repro.core.kernels`) and inline the policy state
+        machine, so their gates are strict: exact policy types (a
+        subclass could override any hook), a single-block trace (the
+        kernels model one access per request), no prefetcher (prefetch
+        admissions would desynchronize the precomputed Bloom/next-access
+        plans), and a numpy backend. Anything else takes the generic
+        ``_run_columnar_fast`` with polymorphic policy calls.
+        """
+        if self.prefetcher is not None or not kernels.have_numpy():
+            return None
+        if len(trace) and not bool((trace.nblocks == 1).all()):
+            return None
+        policy = self.policy
+        if (
+            type(policy) is PowerAwarePolicy
+            and type(policy._regular) is LRUPolicy
+            and type(policy._priority) is LRUPolicy
+            and type(policy.classifier) is DiskClassifier
+            and type(policy.classifier._bloom) is BloomFilter
+            and policy.classifier._epoch_end is None
+            and policy.classifier._bloom._count == 0
+            and not policy._home
+        ):
+            return self._run_columnar_fast_pa
+        if type(policy) is OPGPolicy and not policy._next_of:
+            return self._run_columnar_fast_opg
+        return None
+
+    def _run_columnar_fast_pa(self, trace, times, disks, blocks_col, writes):
+        """PA-LRU fused loop: batch-kernel plans + inlined PA/LRU state.
+
+        Three facts make the classifier's hot work precomputable from
+        the trace alone (see :mod:`repro.core.kernels`):
+
+        * the Bloom filter's verdicts — a key's first access is always
+          a miss and later ``check_and_add`` calls are state no-ops, so
+          :func:`~repro.core.kernels.bloom_cold_mask` replays the whole
+          filter up front with chunked batched hashing;
+        * epoch rollover — boundaries depend only on the first/last
+          timestamps, so per-access completed-epoch counts come from
+          one ``searchsorted``;
+        * the interval CDFs — per-epoch histograms are only *read* at
+          epoch boundaries, so misses buffer their interval lengths and
+          each boundary bins them with one vectorized histogram pass.
+
+        Everything else (LRU stacks, `_home` map, `_classes`) is the
+        policy's **live** state, mutated in place, so the generic
+        fallbacks (``_make_room`` with pinned blocks, write-policy
+        hooks) stay coherent mid-run; residual classifier state is
+        written back after the loop. Bit-identity with the scalar path
+        is pinned by the fused-path differential tests.
+        """
+        cache = self.cache
+        policy: PowerAwarePolicy = self.policy
+        classifier = policy.classifier
+        bloom = classifier._bloom
+        num_disks = classifier.num_disks
+
+        # -- batch-kernel plans ------------------------------------------
+        cold_plan, bloom_count, bloom_words = kernels.bloom_cold_mask(
+            trace.disks, trace.blocks, bloom.num_bits, bloom.num_hashes
+        )
+        cold_l = cold_plan.tolist()
+        boundaries = kernels.epoch_boundary_table(
+            times[0], classifier.epoch_length_s, times[-1]
+        )
+        rolls_l = kernels.epoch_roll_counts(trace.times, boundaries).tolist()
+
+        # -- live policy/classifier state (aliased, not copied) ----------
+        classes = classifier._classes
+        PRIORITY = DiskClass.PRIORITY
+        REGULAR = DiskClass.REGULAR
+        reg_pol = policy._regular
+        pri_pol = policy._priority
+        reg_stack = reg_pol._stack
+        pri_stack = pri_pol._stack
+        home = policy._home
+        home_get = home.get
+        miss_ct = [0] * num_disks
+        cold_ct = [0] * num_disks
+        buffers: list[list[float]] = [[] for _ in range(num_disks)]
+        last_d = list(classifier._last_disk_access)
+        edges = classifier._stats[0].histogram.edges
+        alpha = classifier.alpha
+        p_q = classifier.p
+        threshold_t = classifier.threshold_t
+        histogram_counts = kernels.histogram_counts
+        histogram_quantile = kernels.histogram_quantile
+
+        def reclassify() -> None:
+            # DiskClassifier._reclassify with the buffered intervals
+            # binned in one vectorized pass per disk.
+            for d in range(num_disks):
+                m = miss_ct[d]
+                if m == 0:
+                    classes[d] = PRIORITY
+                    continue
+                buf = buffers[d]
+                total = len(buf)
+                if total:
+                    counts = histogram_counts(edges, buf)
+                    x_p = histogram_quantile(edges, counts, total, p_q)
+                    buffers[d] = []
+                else:
+                    x_p = inf
+                classes[d] = (
+                    PRIORITY
+                    if cold_ct[d] / m <= alpha and x_p >= threshold_t
+                    else REGULAR
+                )
+                miss_ct[d] = 0
+                cold_ct[d] = 0
+            classifier.epochs_completed += 1
+
+        # -- engine locals (mirrors _run_columnar_fast) ------------------
+        blocks = cache._blocks
+        blocks_get = blocks.get
+        blocks_pop = blocks.pop
+        stats = cache.stats
+        seen = stats._seen
+        make_room = cache._make_room
+        capacity = cache.capacity
+        dirty_get = cache._dirty_by_disk.get
+        write_policy = self.write_policy
+        on_write = write_policy.on_write
+        on_evicted = write_policy.on_evicted
+        after_read_wake = (
+            None
+            if type(write_policy).after_read_wake
+            is WritePolicy.after_read_wake
+            else write_policy.after_read_wake
+        )
+        quick = [d.submit_quick for d in self.array.disks]
+        hit_latency = self.config.cache_hit_latency_s
+        append_response = self._responses.append
+        block_state = BlockState
+        disk_reads = 0
+        n_acc = n_read = n_write = 0
+        n_hit = n_miss = n_cold = 0
+        n_evict = n_dirty_evict = 0
+        rolls_done = 0
+
+        time = 0.0
+        for time, disk, block, is_write, cold_i, roll_i in zip(
+            times, disks, blocks_col, writes, cold_l, rolls_l
+        ):
+            while rolls_done < roll_i:
+                reclassify()
+                rolls_done += 1
+            key = (disk, block)
+            n_acc += 1
+            if is_write:
+                n_write += 1
+            else:
+                n_read += 1
+            worst = hit_latency
+            state = blocks_get(key)
+            if state is not None:
+                n_hit += 1
+                # PA.on_access(hit): classify, migrate-or-touch
+                if classes[disk] is PRIORITY:
+                    target = pri_pol
+                    tstack = pri_stack
+                else:
+                    target = reg_pol
+                    tstack = reg_stack
+                current = home_get(key)
+                if current is target:
+                    tstack.move_to_end(key)
+                else:
+                    (pri_stack if current is pri_pol else reg_stack).pop(
+                        key, None
+                    )
+                    tstack[key] = None
+                    home[key] = target
+                if is_write:
+                    latency = on_write(key, time)
+                    if latency > worst:
+                        worst = latency
+            else:
+                n_miss += 1
+                if key not in seen:
+                    n_cold += 1
+                    seen.add(key)
+                # classifier.observe_miss with the precomputed verdict
+                miss_ct[disk] += 1
+                if cold_i:
+                    cold_ct[disk] += 1
+                last = last_d[disk]
+                if last is not None:
+                    gap = time - last
+                    buffers[disk].append(gap if gap > 0.0 else 0.0)
+                last_d[disk] = time
+                if capacity is not None and len(blocks) >= capacity:
+                    if (
+                        cache._pinned == 0
+                        and len(blocks) == capacity
+                        and (reg_stack or pri_stack)
+                    ):
+                        # PA.evict inlined: drain regular first
+                        if reg_stack:
+                            victim = reg_stack.popitem(last=False)[0]
+                        else:
+                            victim = pri_stack.popitem(last=False)[0]
+                        del home[victim]
+                        vstate = blocks_pop(victim, None)
+                        if vstate is None:
+                            raise SimulationError(
+                                "policy evicted non-resident block "
+                                f"{victim}"
+                            )
+                        n_evict += 1
+                        if vstate.dirty:
+                            n_dirty_evict += 1
+                            bucket = dirty_get(victim[0])
+                            if bucket is not None:
+                                bucket.discard(victim)
+                        evicted = ((victim, vstate),)
+                    else:
+                        evicted = make_room(time)
+                else:
+                    evicted = ()
+                blocks[key] = block_state()
+                # PA.on_insert inlined (fresh key, not in _home)
+                if classes[disk] is PRIORITY:
+                    pri_stack[key] = None
+                    home[key] = pri_pol
+                else:
+                    reg_stack[key] = None
+                    home[key] = reg_pol
+                if is_write:
+                    for victim, vstate in evicted:
+                        on_evicted(victim, vstate, time)
+                    latency = on_write(key, time)
+                    if latency > worst:
+                        worst = latency
+                else:
+                    latency, wake_delay = quick[disk](time, block, False)
+                    disk_reads += 1
+                    if latency > worst:
+                        worst = latency
+                    for victim, vstate in evicted:
+                        on_evicted(victim, vstate, time)
+                    if after_read_wake is not None:
+                        after_read_wake(disk, time, woke=wake_delay > 0)
+            append_response(worst)
+
+        # -- residual state write-back -----------------------------------
+        bloom._words = bloom_words
+        bloom._count = bloom_count
+        stats_list = classifier._stats
+        for d in range(num_disks):
+            dstats = stats_list[d]
+            dstats.misses = miss_ct[d]
+            dstats.cold_misses = cold_ct[d]
+            if buffers[d]:
+                dstats.histogram.add_batch(buffers[d])
+        classifier._last_disk_access = last_d
+        classifier._epoch_end = float(boundaries[-1])
+        stats.accesses += n_acc
+        stats.read_accesses += n_read
+        stats.write_accesses += n_write
+        stats.hits += n_hit
+        stats.misses += n_miss
+        stats.cold_misses += n_cold
+        stats.evictions += n_evict
+        stats.dirty_evictions += n_dirty_evict
+        self._disk_reads += disk_reads
+        return time
+
+    def _run_columnar_fast_opg(self, trace, times, disks, blocks_col, writes):
+        """OPG fused loop: vectorized prepare plans + inlined heap ops.
+
+        OPG's eviction order hinges on its stamped heap tuples, so no
+        *algorithmic* change is possible without changing results; this
+        loop keeps the scalar arithmetic and push discipline exactly
+        (same stamps, same tuple values) and removes the interpretation
+        overhead around it: ``_advance``'s per-access sequence check is
+        skipped (the access stream IS the prepared columnar trace; each
+        access's next-reference time rides along in the main ``zip``),
+        untrack/track pairs are fused (one net ``+2`` stamp bump, one
+        push), ``Neighbors`` construction is replaced by inline bisect,
+        and each penalty's three idle-energy evaluations collapse into
+        one inline segment-table walk (the
+        :meth:`~repro.power.dpm._SegmentTable.split_penalty` arithmetic
+        with the table columns hoisted into closure locals) when the
+        energy function is an unoverridden ``PracticalDPM.idle_energy``
+        — plus a one-comparison shortcut for gaps inside the first
+        residency segment, where all three lookups share segment 0 and
+        no bisect is needed.
+
+        All structures (``_next_of``, ``_stamp``, ``_heap``, ``_res``,
+        timelines) are the policy's live objects, so scalar fallbacks
+        (``_make_room`` with pinned blocks) interleave coherently.
+        Write-back activity notifications are rerouted from the scalar
+        ``note_disk_activity`` to the fused gap splitter for the
+        duration of the loop — same timeline inserts, same re-pushes,
+        same stamps. ``_last_access`` is deliberately left unmaintained:
+        its only consumer is ``on_insert``'s never-accessed guard, and
+        every ``on_insert`` reachable from the fused loop is a
+        pinned-victim re-insert that short-circuits on ``_next_of``.
+        Differential tests pin bit-identity.
+        """
+        cache = self.cache
+        policy: OPGPolicy = self.policy
+        theta = policy.theta
+        energy = policy._energy
+        # Penalty fast paths, strictest first: with an exact
+        # PracticalDPM the segment table is immutable for the whole run
+        # (only adaptive subclasses rebuild it), so its columns can be
+        # hoisted into locals; a subclass with the *unoverridden*
+        # idle_energy still gets the fused 3-in-1 lookup, but through
+        # split_penalty so rebuilds stay visible.
+        from repro.power.dpm import PracticalDPM
+
+        owner = getattr(energy, "__self__", None)
+        plain_practical = (
+            isinstance(owner, PracticalDPM)
+            and getattr(energy, "__func__", None)
+            is PracticalDPM.idle_energy
+        )
+        table = (
+            owner._table
+            if plain_practical and type(owner) is PracticalDPM
+            else None
+        )
+        fast_split = (
+            owner.split_penalty
+            if plain_practical and table is None
+            else None
+        )
+        if table is not None:
+            bounds = table.bounds
+            sh_ie = table.sh_ie_total
+            res_prefix = table.res_prefix
+            res_cursor = table.res_cursor
+            res_power = table.res_power
+            res_mode = table.res_mode
+            res_spin = table.res_spinup_e
+            b0 = bounds[0] if bounds else inf
+            seg0_flat = res_mode[0] == 0
+            prefix0 = res_prefix[0]
+            cursor0 = res_cursor[0]
+            power0 = res_power[0]
+        next_of = policy._next_of
+        stamps = policy._stamp
+        stamps_get = stamps.get
+        heap = policy._heap
+        res = policy._res
+        # Every timeline shares the run's start/end and is pre-seeded
+        # for each disk the trace touches (prepare/prepare_columnar),
+        # so the DiskTimeline internals can be hoisted into flat
+        # per-disk dicts; scalar fallbacks mutate the same aliased
+        # lists.
+        tl_times = {d: tl._times for d, tl in policy._timelines.items()}
+        tl_start = policy._start_time
+        tl_end = policy._trace_end
+
+        def push(disk: int, block: int, nt: float, stamp: int) -> None:
+            # _push's tail: penalty at (disk, nt), then the heap tuple.
+            if nt == inf:
+                pen = 0.0
+            else:
+                tlist = tl_times[disk]
+                i2 = bisect_left(tlist, nt)
+                n2 = len(tlist)
+                if i2 < n2 and tlist[i2] == nt:
+                    pen = 0.0  # coincident with a known access
+                else:
+                    leader = tlist[i2 - 1] if i2 > 0 else tl_start
+                    follower = tlist[i2] if i2 < n2 else tl_end
+                    lead = nt - leader
+                    follow = follower - nt
+                    if follow < 0.0:
+                        follow = 0.0
+                    if table is not None:
+                        whole = lead + follow
+                        if seg0_flat and whole <= b0:
+                            # All three gaps land in residency segment
+                            # 0 (rounding is monotone, so lead, follow
+                            # <= fl(lead + follow)); these are the
+                            # general walk's j == 0 expressions.
+                            pen = (
+                                (prefix0 + (lead - cursor0) * power0)
+                                + (prefix0 + (follow - cursor0) * power0)
+                                - (prefix0 + (whole - cursor0) * power0)
+                            )
+                        else:
+                            idx = bisect_left(bounds, lead)
+                            if idx & 1 and bounds[idx] != lead:
+                                e_l = sh_ie[idx >> 1]
+                            else:
+                                j = (idx + 1) >> 1 if idx & 1 else idx >> 1
+                                e_l = (
+                                    res_prefix[j]
+                                    + (lead - res_cursor[j]) * res_power[j]
+                                )
+                                if res_mode[j] != 0:
+                                    e_l = e_l + res_spin[j]
+                            idx = bisect_left(bounds, follow)
+                            if idx & 1 and bounds[idx] != follow:
+                                e_f = sh_ie[idx >> 1]
+                            else:
+                                j = (idx + 1) >> 1 if idx & 1 else idx >> 1
+                                e_f = (
+                                    res_prefix[j]
+                                    + (follow - res_cursor[j]) * res_power[j]
+                                )
+                                if res_mode[j] != 0:
+                                    e_f = e_f + res_spin[j]
+                            idx = bisect_left(bounds, whole)
+                            if idx & 1 and bounds[idx] != whole:
+                                e_w = sh_ie[idx >> 1]
+                            else:
+                                j = (idx + 1) >> 1 if idx & 1 else idx >> 1
+                                e_w = (
+                                    res_prefix[j]
+                                    + (whole - res_cursor[j]) * res_power[j]
+                                )
+                                if res_mode[j] != 0:
+                                    e_w = e_w + res_spin[j]
+                            pen = e_l + e_f - e_w
+                        if pen <= 0.0:
+                            pen = 0.0
+                    elif fast_split is not None:
+                        pen = fast_split(lead, follow)
+                    else:
+                        e_split = energy(lead) + energy(follow)
+                        e_whole = energy(lead + follow)
+                        pen = e_split - e_whole
+                        if pen < 0.0:
+                            pen = 0.0
+            if pen < theta:
+                pen = theta
+            heappush(heap, (pen, -nt, stamp, disk, block))
+
+        def split_gap(disk: int, at: float) -> None:
+            # _split_gap with DiskTimeline.insert_tuple inlined: record
+            # the known access, then re-push residents in the split gap
+            tlist = tl_times[disk]
+            i2 = bisect_left(tlist, at)
+            n2 = len(tlist)
+            if i2 < n2 and tlist[i2] == at:
+                return  # already known; no penalties change
+            leader = tlist[i2 - 1] if i2 > 0 else tl_start
+            follower = tlist[i2] if i2 < n2 else tl_end
+            tlist.insert(i2, at)
+            rlist = res[disk]
+            lo = bisect_right(rlist, (leader, inf))
+            hi = bisect_left(rlist, (follower,))
+            if lo < hi:
+                for nt2, blk in rlist[lo:hi]:
+                    k2 = (disk, blk)
+                    st2 = stamps_get(k2, 0) + 1
+                    stamps[k2] = st2
+                    push(disk, blk, nt2, st2)
+
+        # -- engine locals (mirrors _run_columnar_fast) ------------------
+        blocks = cache._blocks
+        blocks_get = blocks.get
+        blocks_pop = blocks.pop
+        stats = cache.stats
+        seen = stats._seen
+        make_room = cache._make_room
+        capacity = cache.capacity
+        dirty_get = cache._dirty_by_disk.get
+        write_policy = self.write_policy
+        on_write = write_policy.on_write
+        on_evicted = write_policy.on_evicted
+        after_read_wake = (
+            None
+            if type(write_policy).after_read_wake
+            is WritePolicy.after_read_wake
+            else write_policy.after_read_wake
+        )
+        quick = [d.submit_quick for d in self.array.disks]
+        hit_latency = self.config.cache_hit_latency_s
+        append_response = self._responses.append
+        block_state = BlockState
+        disk_reads = 0
+        # Totals the loop would accumulate one by one fall out of the
+        # columns directly; only the cache-state-dependent counters
+        # (misses, cold misses, evictions) stay in the loop.
+        n_total = len(times)
+        n_write_total = int(trace.is_write.sum())
+        n_miss = n_cold = 0
+        n_evict = n_dirty_evict = 0
+
+        # Reroute write-back activity notifications (attach() bound the
+        # scalar note_disk_activity) through the fused gap splitter;
+        # restored below even on error.
+        saved_listener = write_policy.activity_listener
+        if saved_listener is not None:
+            write_policy.activity_listener = split_gap
+
+        time = 0.0
+        try:
+            for time, disk, block, is_write, nt_new in zip(
+                times, disks, blocks_col, writes, policy._next_time
+            ):
+                key = (disk, block)
+                worst = hit_latency
+                state = blocks_get(key)
+                if state is not None:
+                    # on_access(hit): fused untrack + track (+2 stamp,
+                    # one push — same final stamp and tuple as the
+                    # scalar pair)
+                    # overwrite instead of scalar pop-then-set: only
+                    # membership and values of _next_of are observed,
+                    # never its insertion order
+                    nt_old = next_of[key]
+                    next_of[key] = nt_new
+                    rlist = res[disk]
+                    j = bisect_left(rlist, (nt_old, block))
+                    if j < len(rlist) and rlist[j] == (nt_old, block):
+                        rlist.pop(j)
+                    insort(rlist, (nt_new, block))
+                    st = stamps_get(key, 0) + 2
+                    stamps[key] = st
+                    push(disk, block, nt_new, st)
+                    if is_write:
+                        latency = on_write(key, time)
+                        if latency > worst:
+                            worst = latency
+                else:
+                    n_miss += 1
+                    if key not in seen:
+                        n_cold += 1
+                        seen.add(key)
+                    # on_access(miss): the disk is known active now
+                    split_gap(disk, time)
+                    if capacity is not None and len(blocks) >= capacity:
+                        if (
+                            cache._pinned == 0
+                            and len(blocks) == capacity
+                            and next_of
+                        ):
+                            # OPG.evict inlined (lazy heap, fused
+                            # untrack)
+                            while heap:
+                                pen, neg_nt, st, vd, vb = heappop(heap)
+                                vkey = (vd, vb)
+                                if (
+                                    stamps_get(vkey) != st
+                                    or vkey not in next_of
+                                ):
+                                    continue
+                                nt_v = next_of.pop(vkey)
+                                rlist = res[vd]
+                                j = bisect_left(rlist, (nt_v, vb))
+                                if (
+                                    j < len(rlist)
+                                    and rlist[j] == (nt_v, vb)
+                                ):
+                                    rlist.pop(j)
+                                stamps[vkey] = st + 1
+                                if nt_v != inf:
+                                    split_gap(vd, nt_v)
+                                victim = vkey
+                                break
+                            else:
+                                raise PolicyError(
+                                    "OPG: evict with no resident blocks"
+                                )
+                            vstate = blocks_pop(victim, None)
+                            if vstate is None:
+                                raise SimulationError(
+                                    "policy evicted non-resident block "
+                                    f"{victim}"
+                                )
+                            n_evict += 1
+                            if vstate.dirty:
+                                n_dirty_evict += 1
+                                bucket = dirty_get(victim[0])
+                                if bucket is not None:
+                                    bucket.discard(victim)
+                            evicted = ((victim, vstate),)
+                        else:
+                            evicted = make_room(time)
+                    else:
+                        evicted = ()
+                    blocks[key] = block_state()
+                    # on_insert inlined: track at this access's next
+                    # time (split_gap above guaranteed res[disk]
+                    # exists)
+                    insort(res[disk], (nt_new, block))
+                    next_of[key] = nt_new
+                    st = stamps_get(key, 0) + 1
+                    stamps[key] = st
+                    push(disk, block, nt_new, st)
+                    if is_write:
+                        for victim, vstate in evicted:
+                            on_evicted(victim, vstate, time)
+                        latency = on_write(key, time)
+                        if latency > worst:
+                            worst = latency
+                    else:
+                        latency, wake_delay = quick[disk](
+                            time, block, False
+                        )
+                        disk_reads += 1
+                        if latency > worst:
+                            worst = latency
+                        for victim, vstate in evicted:
+                            on_evicted(victim, vstate, time)
+                        if after_read_wake is not None:
+                            after_read_wake(
+                                disk, time, woke=wake_delay > 0
+                            )
+                append_response(worst)
+        finally:
+            if saved_listener is not None:
+                write_policy.activity_listener = saved_listener
+
+        policy._cursor = n_total
+        stats.accesses += n_total
+        stats.read_accesses += n_total - n_write_total
+        stats.write_accesses += n_write_total
+        stats.hits += n_total - n_miss
+        stats.misses += n_miss
+        stats.cold_misses += n_cold
         stats.evictions += n_evict
         stats.dirty_evictions += n_dirty_evict
         self._disk_reads += disk_reads

@@ -13,7 +13,23 @@ class RogueImpl(BadBase):  # subclass missing from the registry -> error
     pass
 
 
+def batch_kernel(fn):  # stand-in decorator so the fixture parses alone
+    return fn
+
+
+@batch_kernel
+def rogue_kernel(values):  # decorated but unlisted -> error
+    return values
+
+
+@batch_kernel
+def audited_kernel(values):
+    return values
+
+
 FAST_PATH_AUDITED = {
     # "GhostImpl" no longer exists -> stale-entry warning
     "BadBase": frozenset({"AuditedImpl", "GhostImpl"}),
+    # "ghost_kernel" has no decorated function -> stale-entry warning
+    "BatchKernel": frozenset({"audited_kernel", "ghost_kernel"}),
 }

@@ -1,4 +1,5 @@
-"""Idiomatic counterpart: the registry enumerates every subclass."""
+"""Idiomatic counterpart: the registry enumerates every subclass and
+every decorated batch kernel."""
 
 
 class CleanBase:
@@ -13,6 +14,16 @@ class SecondImpl(FirstImpl):  # transitive subclasses count too
     pass
 
 
+def batch_kernel(fn):  # stand-in decorator so the fixture parses alone
+    return fn
+
+
+@batch_kernel
+def tidy_kernel(values):
+    return values
+
+
 FAST_PATH_AUDITED = {
     "CleanBase": frozenset({"FirstImpl", "SecondImpl"}),
+    "BatchKernel": frozenset({"tidy_kernel"}),
 }

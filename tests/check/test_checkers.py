@@ -59,10 +59,12 @@ class TestFastPath:
         msgs = _messages(report.errors)
         assert "RogueImpl subclasses BadBase" in msgs
         assert "FAST_PATH_AUDITED" in msgs
+        assert "kernel rogue_kernel is @batch_kernel-decorated" in msgs
         stale = _messages(report.warnings)
         assert "'GhostImpl'" in stale and "stale" in stale
-        assert len(report.errors) == 1
-        assert len(report.warnings) == 1
+        assert "'ghost_kernel'" in stale
+        assert len(report.errors) == 2
+        assert len(report.warnings) == 2
 
     def test_silent_on_clean_twin(self, check_fixture):
         # SecondImpl is only a *transitive* subclass of CleanBase; the

@@ -1,0 +1,80 @@
+"""The perf-smoke regression gate (``repro bench --check``).
+
+``check_regression`` is what CI trusts to catch hot-path regressions,
+so its comparison logic gets direct unit coverage: the speedup floor,
+the ``krps_vs_lru`` cross-policy floor introduced with the batch-kernel
+work, and the identical-results invariant.
+"""
+
+import copy
+
+from repro.bench import attach_before, check_regression
+
+BASELINE = {
+    "scenarios": {
+        "lru_wb": {"speedup": 2.5, "krps_vs_lru": 1.0, "identical": True},
+        "pa_lru": {"speedup": 3.0, "krps_vs_lru": 0.8, "identical": True},
+        "opg_theta0": {"speedup": 2.6, "krps_vs_lru": 0.36, "identical": True},
+        "campaign": {"speedup": 1.3, "identical": True},
+    }
+}
+
+
+def _report():
+    return copy.deepcopy(BASELINE)
+
+
+def test_identical_baseline_passes():
+    assert check_regression(_report(), BASELINE, tolerance=0.25) == []
+
+
+def test_small_drift_within_tolerance_passes():
+    report = _report()
+    report["scenarios"]["opg_theta0"]["speedup"] = 2.6 * 0.80
+    report["scenarios"]["opg_theta0"]["krps_vs_lru"] = 0.36 * 0.80
+    assert check_regression(report, BASELINE, tolerance=0.25) == []
+
+
+def test_speedup_regression_fails():
+    report = _report()
+    report["scenarios"]["pa_lru"]["speedup"] = 3.0 * 0.5
+    failures = check_regression(report, BASELINE, tolerance=0.25)
+    assert len(failures) == 1 and "pa_lru" in failures[0]
+    assert "speedup" in failures[0]
+
+
+def test_krps_vs_lru_regression_fails():
+    # The legacy/columnar speedup can hold steady while the policy
+    # quietly falls behind plain LRU — the cross-policy ratio is a
+    # separate floor.
+    report = _report()
+    report["scenarios"]["opg_theta0"]["krps_vs_lru"] = 0.36 * 0.5
+    failures = check_regression(report, BASELINE, tolerance=0.25)
+    assert len(failures) == 1 and "opg_theta0" in failures[0]
+    assert "vs plain LRU" in failures[0]
+
+
+def test_non_identical_results_fail():
+    report = _report()
+    report["scenarios"]["lru_wb"]["identical"] = False
+    failures = check_regression(report, BASELINE, tolerance=0.25)
+    assert len(failures) == 1 and "differ" in failures[0]
+
+
+def test_scenarios_missing_from_baseline_are_ignored():
+    report = _report()
+    report["scenarios"]["brand_new"] = {"speedup": 0.1, "identical": True}
+    assert check_regression(report, BASELINE, tolerance=0.25) == []
+
+
+def test_attach_before_computes_per_scenario_speedups():
+    report = {
+        "scenarios": {
+            "lru_wb": {"columnar_s": 2.0},
+            "campaign": {"shared_s": 1.0},  # no columnar_s: skipped
+        }
+    }
+    before = {"scenarios": {"lru_wb": {"seconds": 10.0}}}
+    attach_before(report, before)
+    assert report["before"] is before
+    assert report["speedup_vs_before"] == {"lru_wb": 5.0}
