@@ -26,6 +26,15 @@ class BlockState:
     #: Set for blocks admitted by the prefetcher and not yet demanded;
     #: cleared (and counted as a prefetch hit) on first demand access.
     prefetched: bool = False
+    #: Scratch slots for the fused OPG loop (``sim/engine.py``): the
+    #: block's next-access time and lazy-heap stamp, which the scalar
+    #: path keeps in ``OPGPolicy._next_of`` / ``_stamp`` dicts. Riding
+    #: on the state object the hit path already holds makes the fused
+    #: loop's per-access bookkeeping dict-free; the policy dicts are
+    #: rebuilt when the loop hands control back. Meaningless outside
+    #: that loop.
+    opg_nt: float = 0.0
+    opg_stamp: int = 0
 
     @property
     def pinned(self) -> bool:

@@ -33,6 +33,12 @@ class WritePolicy(ABC):
 
     name: str = "base"
 
+    #: Whether the policy may pin cache blocks (``cache.mark_logged``).
+    #: Fused engine loops that inline eviction without the pinned-block
+    #: fallback gate on this; a subclass that starts pinning must set
+    #: it ``True`` or evictions could target pinned blocks.
+    pins_blocks: bool = False
+
     def __init__(self) -> None:
         self.cache: StorageCache | None = None
         self.array: DiskArray | None = None

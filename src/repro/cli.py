@@ -337,6 +337,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="embed pre-overhaul measurements "
         "(benchmarks/perf/measure_before.py output) in the report",
     )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="re-run each scenario's hot leg under cProfile and write "
+        "profile_<scenario>.pstats next to the report",
+    )
     return parser
 
 

@@ -1,0 +1,344 @@
+"""Chunked (two-level blocked) sorted-sequence container.
+
+``ChunkedSortedList`` stores a sorted sequence as a list of bounded-
+size *chunks* plus a parallel *chunk-maxima index* (``_maxes``), the
+classic two-level design of ``sortedcontainers.SortedList``. Locating
+a value is two bisects (maxima index, then one chunk); mutating moves
+at most one chunk's tail plus one maxima entry, so insert/delete cost
+O(load + n/load) ≈ O(√n) instead of the O(n) memmove of a flat
+``list.insert`` — the difference that makes OPG's deterministic-miss
+timelines (:mod:`repro.core.deterministic`) scale past tens of
+thousands of entries (DESIGN §10 "Chunked timelines").
+
+The container is value-generic: it orders whatever the elements'
+``<``/``==`` order, and the OPG hot path uses it both for plain float
+timelines and for ``(next_time, block)`` tuples. Operations mirror
+``bisect`` semantics exactly (``index_left``/``index_right``,
+``irange`` bounds), so a plain ``list`` + ``bisect`` is a drop-in
+reference model — the property suite
+(``tests/property/test_chunked_properties.py``) exploits that.
+
+Invariants: no chunk is ever empty; ``_maxes[i] == _chunks[i][-1]``;
+chunk lengths stay ≤ ``2 * load`` (a longer chunk is split in half).
+Chunks shrink only by deletion; an emptied chunk is removed outright
+(no rebalancing-by-merge — delete-heavy workloads degrade gracefully
+toward more, smaller chunks, never toward invalid state).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+
+#: Default chunk-size target. Inserting into a chunk is a single C
+#: memmove of at most ``2 * load`` pointers (~16 KiB) — effectively
+#: flat-list speed — while the maxima index stays tiny (n / load
+#: entries, ~35 for the deepest bench timelines), so the two-level
+#: indirection costs the same ~log2(n) comparisons as one flat bisect.
+#: A sweep over {256, 512, 1024, 2048} on the ``opg_theta0``/
+#: ``opg_deep`` bench scenarios was flat within noise; 1024 sits in
+#: the middle of the flat region (see DESIGN §10).
+DEFAULT_LOAD = 1024
+
+
+class ChunkedSortedList:
+    """A sorted sequence with O(√n)-ish insert/delete.
+
+    Args:
+        load: Chunk-size target; chunks split when they exceed
+            ``2 * load``. The default suits the simulation hot paths;
+            tests use tiny loads to force split/merge boundaries.
+    """
+
+    __slots__ = ("_chunks", "_maxes", "_len", "_load", "_cap")
+
+    def __init__(self, load: int = DEFAULT_LOAD) -> None:
+        if load < 2:
+            raise ValueError(f"load must be >= 2, got {load}")
+        self._chunks: list[list] = []
+        self._maxes: list = []
+        self._len = 0
+        self._load = load
+        self._cap = 2 * load
+
+    @classmethod
+    def from_sorted(cls, seq, load: int = DEFAULT_LOAD):
+        """Bulk-load from an already-sorted sequence (O(n)).
+
+        ``seq`` may be any sequence (numpy arrays included) sorted
+        ascending; duplicates are kept. Equivalent to ``add``-ing each
+        element in order, without the per-element bisects.
+        """
+        self = cls(load)
+        items = seq.tolist() if hasattr(seq, "tolist") else list(seq)
+        if items:
+            chunks = [
+                items[i : i + load] for i in range(0, len(items), load)
+            ]
+            self._chunks = chunks
+            self._maxes = [c[-1] for c in chunks]
+            self._len = len(items)
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self):
+        for chunk in self._chunks:
+            yield from chunk
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(len={self._len}, "
+            f"chunks={len(self._chunks)}, load={self._load})"
+        )
+
+    def __contains__(self, value) -> bool:
+        maxes = self._maxes
+        ci = bisect_left(maxes, value)
+        if ci == len(maxes):
+            return False
+        chunk = self._chunks[ci]
+        i = bisect_left(chunk, value)
+        return chunk[i] == value
+
+    def __getitem__(self, index: int):
+        """Positional access (ints only; negative indices supported)."""
+        if index < 0:
+            index += self._len
+        if not 0 <= index < self._len:
+            raise IndexError("ChunkedSortedList index out of range")
+        for chunk in self._chunks:
+            n = len(chunk)
+            if index < n:
+                return chunk[index]
+            index -= n
+        raise IndexError("ChunkedSortedList index out of range")
+
+    def to_list(self) -> list:
+        """The whole sequence as one flat list (O(n))."""
+        out: list = []
+        for chunk in self._chunks:
+            out.extend(chunk)
+        return out
+
+    def index_left(self, value) -> int:
+        """``bisect.bisect_left`` against the flattened sequence."""
+        maxes = self._maxes
+        ci = bisect_left(maxes, value)
+        if ci == len(maxes):
+            return self._len
+        total = 0
+        for chunk in self._chunks[:ci]:
+            total += len(chunk)
+        return total + bisect_left(self._chunks[ci], value)
+
+    def index_right(self, value) -> int:
+        """``bisect.bisect_right`` against the flattened sequence."""
+        maxes = self._maxes
+        ci = bisect_right(maxes, value)
+        if ci == len(maxes):
+            return self._len
+        total = 0
+        for chunk in self._chunks[:ci]:
+            total += len(chunk)
+        return total + bisect_right(self._chunks[ci], value)
+
+    def neighbors(self, value):
+        """``(prev, next, coincident)`` around ``value``.
+
+        With ``i = bisect_left(seq, value)``: when ``seq[i] == value``
+        the value is *coincident* and its neighbors are ``seq[i-1]`` /
+        ``seq[i+1]``; otherwise they are ``seq[i-1]`` / ``seq[i]``.
+        Missing edges are ``None``. One locate, no allocation beyond
+        the result tuple — the OPG penalty lookup in a single call.
+        """
+        maxes = self._maxes
+        ci = bisect_left(maxes, value)
+        if ci == len(maxes):
+            if ci == 0:
+                return (None, None, False)
+            return (self._chunks[-1][-1], None, False)
+        chunks = self._chunks
+        chunk = chunks[ci]
+        i = bisect_left(chunk, value)
+        # maxes[ci] >= value, so i indexes a real element.
+        if i > 0:
+            prev = chunk[i - 1]
+        elif ci > 0:
+            prev = maxes[ci - 1]
+        else:
+            prev = None
+        at = chunk[i]
+        if at != value:
+            return (prev, at, False)
+        if i + 1 < len(chunk):
+            nxt = chunk[i + 1]
+        elif ci + 1 < len(chunks):
+            nxt = chunks[ci + 1][0]
+        else:
+            nxt = None
+        return (prev, nxt, True)
+
+    def irange(self, lo=None, hi=None, inclusive=(True, False)):
+        """Iterate values inside a bound pair, default ``[lo, hi)``.
+
+        ``inclusive`` selects closed/open per bound, matching the
+        bisect identities: the included values are exactly
+        ``seq[index_left(lo):index_left(hi)]`` for ``(True, False)``,
+        with ``index_right`` substituted on whichever bound flips.
+        ``None`` bounds are unbounded. Values are yielded lazily in
+        ascending order; mutating the container mid-iteration is
+        undefined (the hot paths never do).
+        """
+        maxes = self._maxes
+        if not maxes:
+            return
+        chunks = self._chunks
+        nchunks = len(chunks)
+        if lo is None:
+            ci, i = 0, 0
+        else:
+            if inclusive[0]:
+                ci = bisect_left(maxes, lo)
+                if ci == nchunks:
+                    return
+                i = bisect_left(chunks[ci], lo)
+            else:
+                ci = bisect_right(maxes, lo)
+                if ci == nchunks:
+                    return
+                i = bisect_right(chunks[ci], lo)
+        if hi is None:
+            cj, j = nchunks - 1, len(chunks[-1])
+        else:
+            if inclusive[1]:
+                cj = bisect_right(maxes, hi)
+                j = (
+                    bisect_right(chunks[cj], hi)
+                    if cj < nchunks
+                    else len(chunks[nchunks - 1])
+                )
+            else:
+                cj = bisect_left(maxes, hi)
+                j = (
+                    bisect_left(chunks[cj], hi)
+                    if cj < nchunks
+                    else len(chunks[nchunks - 1])
+                )
+            if cj == nchunks:
+                cj = nchunks - 1
+        if ci > cj:
+            return
+        if ci == cj:
+            chunk = chunks[ci]
+            for k in range(i, j):
+                yield chunk[k]
+            return
+        chunk = chunks[ci]
+        for k in range(i, len(chunk)):
+            yield chunk[k]
+        for cm in range(ci + 1, cj):
+            yield from chunks[cm]
+        chunk = chunks[cj]
+        for k in range(j):
+            yield chunk[k]
+
+    # -- mutation ----------------------------------------------------------
+
+    def _split(self, ci: int) -> None:
+        """Halve an over-full chunk, keeping the maxima index aligned."""
+        chunk = self._chunks[ci]
+        half = len(chunk) >> 1
+        right = chunk[half:]
+        del chunk[half:]
+        self._chunks.insert(ci + 1, right)
+        self._maxes[ci] = chunk[-1]
+        self._maxes.insert(ci + 1, right[-1])
+
+    def add(self, value) -> None:
+        """Insert ``value``, keeping duplicates (``insort_right``)."""
+        maxes = self._maxes
+        if not maxes:
+            self._chunks.append([value])
+            maxes.append(value)
+            self._len = 1
+            return
+        ci = bisect_right(maxes, value)
+        if ci == len(maxes):
+            ci -= 1
+            chunk = self._chunks[ci]
+            chunk.append(value)
+            maxes[ci] = value
+        else:
+            chunk = self._chunks[ci]
+            insort(chunk, value)
+        self._len += 1
+        if len(chunk) > self._cap:
+            self._split(ci)
+
+    def insert_unique(self, value):
+        """Insert if absent; report the pre-insertion neighbors.
+
+        Returns ``(prev, next)`` (``None`` edges as in
+        :meth:`neighbors`) when the value was new, or ``None`` when it
+        was already present — one locate for the membership test, the
+        neighbor lookup, and the insertion together. This is
+        :meth:`~repro.core.deterministic.DiskTimeline.insert`'s
+        contract pushed down into the container.
+        """
+        maxes = self._maxes
+        chunks = self._chunks
+        if not maxes:
+            chunks.append([value])
+            maxes.append(value)
+            self._len = 1
+            return (None, None)
+        ci = bisect_left(maxes, value)
+        if ci == len(maxes):
+            ci -= 1
+            chunk = chunks[ci]
+            prev = chunk[-1]
+            chunk.append(value)
+            maxes[ci] = value
+            self._len += 1
+            if len(chunk) > self._cap:
+                self._split(ci)
+            return (prev, None)
+        chunk = chunks[ci]
+        i = bisect_left(chunk, value)
+        # maxes[ci] >= value, so i indexes a real element.
+        nxt = chunk[i]
+        if nxt == value:
+            return None
+        if i > 0:
+            prev = chunk[i - 1]
+        elif ci > 0:
+            prev = maxes[ci - 1]
+        else:
+            prev = None
+        chunk.insert(i, value)
+        self._len += 1
+        if len(chunk) > self._cap:
+            self._split(ci)
+        return (prev, nxt)
+
+    def discard(self, value) -> bool:
+        """Remove the leftmost occurrence of ``value`` if present."""
+        maxes = self._maxes
+        ci = bisect_left(maxes, value)
+        if ci == len(maxes):
+            return False
+        chunk = self._chunks[ci]
+        i = bisect_left(chunk, value)
+        if chunk[i] != value:
+            return False
+        del chunk[i]
+        self._len -= 1
+        if not chunk:
+            del self._chunks[ci]
+            del maxes[ci]
+        elif i == len(chunk):
+            maxes[ci] = chunk[-1]
+        return True

@@ -9,6 +9,12 @@ accesses and future deterministic misses. A block access at time ``t``
 has a *leader* (closest known access at or before ``t``) and a
 *follower* (closest known access after ``t``); evicting the block
 splits the leader→follower idle period in two.
+
+The sorted set itself is a :class:`~repro.core.chunked.
+ChunkedSortedList`: timelines on the bench workloads grow to tens of
+thousands of entries and take ~724k inserts per million requests, so a
+flat ``list.insert`` (an O(n) memmove each) made OPG degrade with
+scale (DESIGN §10 "Chunked timelines").
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass
+
+from repro.core.chunked import ChunkedSortedList
 
 
 @dataclass(frozen=True)
@@ -34,10 +42,23 @@ class DiskTimeline:
 
     The simulation start acts as the initial leader (the disk spins up
     at time zero); ``end`` (the trace end) acts as the final follower.
+    ``start`` is itself a member of the set, so the ``start``/``end``
+    attributes only substitute for neighbors *outside* the stored
+    range. :meth:`neighbors_tuple` / :meth:`insert_tuple` are the one
+    implementation; :meth:`neighbors` / :meth:`insert` are thin
+    wrappers that box the same values into :class:`Neighbors`.
     """
 
+    __slots__ = ("_times", "_known", "start", "end")
+
     def __init__(self, start: float = 0.0, end: float = math.inf) -> None:
-        self._times: list[float] = [start]
+        self._times = ChunkedSortedList.from_sorted((start,))
+        # Hash-set mirror of ``_times`` for O(1) membership: the OPG
+        # hot path probes "is this time already a known access?" far
+        # more often than it inserts (duplicate gap splits, coincident
+        # penalties), and float hashing agrees exactly with the ``==``
+        # the sorted container uses.
+        self._known = {start}
         self.start = start
         self.end = end
 
@@ -51,87 +72,59 @@ class DiskTimeline:
         the fused OPG prepare path uses it with the per-disk sorted
         first-access sweep from :mod:`repro.core.kernels`. ``times``
         may be any sequence (numpy array included) sorted strictly
-        ascending.
+        ascending; ``start`` is merged into place wherever it falls
+        (one O(n) pass, even when times precede the epoch).
         """
         tl = cls(start=start, end=end)
         seq = times.tolist() if hasattr(times, "tolist") else list(times)
-        if seq and seq[0] == start:
-            seq = seq[1:]
-        if seq and seq[0] < start:
-            # A time before the simulation epoch: fall back to the
-            # general insert to keep the list sorted.
-            for t in seq:
-                tl.insert(t)
-            return tl
-        tl._times.extend(seq)
+        i = bisect.bisect_left(seq, start)
+        if not (i < len(seq) and seq[i] == start):
+            seq.insert(i, start)
+        tl._times = ChunkedSortedList.from_sorted(seq)
+        tl._known = set(seq)
         return tl
 
     def __len__(self) -> int:
         return len(self._times)
 
     def __contains__(self, time: float) -> bool:
-        times = self._times
-        i = bisect.bisect_left(times, time)
-        return i < len(times) and times[i] == time
-
-    def neighbors(self, time: float) -> Neighbors:
-        """Leader/follower for a prospective access at ``time``."""
-        times = self._times
-        i = bisect.bisect_left(times, time)
-        if i < len(times) and times[i] == time:
-            leader = times[i - 1] if i > 0 else self.start
-            follower = times[i + 1] if i + 1 < len(times) else self.end
-            return Neighbors(leader=leader, follower=follower, coincident=True)
-        leader = times[i - 1] if i > 0 else self.start
-        follower = times[i] if i < len(times) else self.end
-        return Neighbors(leader=leader, follower=follower, coincident=False)
+        return time in self._known
 
     def neighbors_tuple(self, time: float) -> tuple[float, float, bool]:
-        """:meth:`neighbors` as a plain ``(leader, follower,
-        coincident)`` tuple — the fused OPG loop's allocation-free
-        variant (identical values, no dataclass construction)."""
-        times = self._times
-        i = bisect.bisect_left(times, time)
-        n = len(times)
-        if i < n and times[i] == time:
-            return (
-                times[i - 1] if i > 0 else self.start,
-                times[i + 1] if i + 1 < n else self.end,
-                True,
-            )
+        """Leader/follower for a prospective access at ``time`` as a
+        plain ``(leader, follower, coincident)`` tuple — the fused OPG
+        loop's allocation-free variant."""
+        leader, follower, coincident = self._times.neighbors(time)
         return (
-            times[i - 1] if i > 0 else self.start,
-            times[i] if i < n else self.end,
-            False,
+            self.start if leader is None else leader,
+            self.end if follower is None else follower,
+            coincident,
         )
 
-    def insert_tuple(self, time: float) -> tuple[float, float] | None:
-        """:meth:`insert` returning a plain ``(leader, follower)``
-        tuple (or ``None`` if already known) — fused-loop variant with
-        identical state effects."""
-        times = self._times
-        i = bisect.bisect_left(times, time)
-        n = len(times)
-        if i < n and times[i] == time:
-            return None
-        leader = times[i - 1] if i > 0 else self.start
-        follower = times[i] if i < n else self.end
-        times.insert(i, time)
-        return (leader, follower)
+    def neighbors(self, time: float) -> Neighbors:
+        """:meth:`neighbors_tuple` boxed into :class:`Neighbors`."""
+        return Neighbors(*self.neighbors_tuple(time))
 
-    def insert(self, time: float) -> Neighbors | None:
+    def insert_tuple(self, time: float) -> tuple[float, float] | None:
         """Add a known access time.
 
-        Returns the *pre-insertion* neighbors when the time was new
-        (callers re-evaluate penalties of blocks in that gap), or
-        ``None`` if the time was already known.
+        Returns the *pre-insertion* ``(leader, follower)`` when the
+        time was new (callers re-evaluate penalties of blocks in that
+        gap), or ``None`` if the time was already known.
         """
-        times = self._times
-        i = bisect.bisect_left(times, time)
-        n = len(times)
-        if i < n and times[i] == time:
+        known = self._known
+        if time in known:
             return None
-        leader = times[i - 1] if i > 0 else self.start
-        follower = times[i] if i < n else self.end
-        times.insert(i, time)
-        return Neighbors(leader=leader, follower=follower, coincident=False)
+        known.add(time)
+        leader, follower = self._times.insert_unique(time)
+        return (
+            self.start if leader is None else leader,
+            self.end if follower is None else follower,
+        )
+
+    def insert(self, time: float) -> Neighbors | None:
+        """:meth:`insert_tuple` boxed into :class:`Neighbors`."""
+        nb = self.insert_tuple(time)
+        if nb is None:
+            return None
+        return Neighbors(leader=nb[0], follower=nb[1], coincident=False)

@@ -281,10 +281,15 @@ def next_access_arrays(disks, blocks, times):
     first_mask = np.ones(n, dtype=bool)
     if n == 0:
         return next_pos, next_time, first_mask
-    order = np.lexsort((blocks, disks))
-    same = (disks[order][1:] == disks[order][:-1]) & (
-        blocks[order][1:] == blocks[order][:-1]
-    )
+    # Stable sort on one fused (disk, block) key instead of a
+    # two-pass lexsort: disk ids are small, so disk * (max_block + 1)
+    # + block is collision-free in int64 and orders exactly like the
+    # (blocks, disks) lexsort — one sort pass instead of two, and the
+    # group-boundary test collapses to a single comparison.
+    fused = disks.astype(np.int64) * (np.int64(blocks.max()) + 1) + blocks
+    order = np.argsort(fused, kind="stable")
+    fused = fused[order]
+    same = fused[1:] == fused[:-1]
     predecessors = order[:-1][same]
     successors = order[1:][same]
     next_pos[predecessors] = successors

@@ -30,13 +30,13 @@ never smaller than the fresh one — min-extraction stays exact.
 
 from __future__ import annotations
 
-import bisect
 import heapq
 import math
 from typing import Callable
 
 from repro.cache.block import BlockKey
 from repro.cache.policies.base import OfflinePolicy
+from repro.core.chunked import ChunkedSortedList
 from repro.core.deterministic import DiskTimeline
 from repro.errors import PolicyError
 
@@ -85,9 +85,10 @@ class OPGPolicy(OfflinePolicy):
         self.tail_s = tail_s
         self._start_time = start_time
         self._timelines: dict[int, DiskTimeline] = {}
-        # per-disk sorted list of (next_access_time, block_no) for
-        # residents — the range structure for gap-split re-evaluation
-        self._res: dict[int, list[tuple[float, int]]] = {}
+        # per-disk sorted (next_access_time, block_no) tuples for
+        # residents — the range structure for gap-split re-evaluation;
+        # chunked for the same O(√n) mutation bound as the timelines
+        self._res: dict[int, ChunkedSortedList] = {}
         self._next_of: dict[BlockKey, float] = {}
         self._stamp: dict[BlockKey, int] = {}
         self._last_access: dict[BlockKey, int] = {}
@@ -130,7 +131,7 @@ class OPGPolicy(OfflinePolicy):
             self._timelines[disk] = DiskTimeline.from_sorted(
                 first_times, start=self._start_time, end=self._trace_end
             )
-            self._res[disk] = []
+            self._res[disk] = ChunkedSortedList()
         return True
 
     def _timeline(self, disk: int) -> DiskTimeline:
@@ -138,7 +139,7 @@ class OPGPolicy(OfflinePolicy):
         if tl is None:
             tl = DiskTimeline(start=self._start_time, end=self._trace_end)
             self._timelines[disk] = tl
-            self._res[disk] = []
+            self._res[disk] = ChunkedSortedList()
         return tl
 
     # -- penalties -----------------------------------------------------------
@@ -147,11 +148,12 @@ class OPGPolicy(OfflinePolicy):
         """Energy penalty of a miss at ``next_time`` on ``disk``."""
         if next_time == _INF:
             return 0.0  # never re-referenced: evicting costs nothing
-        nb = self._timeline(disk).neighbors(next_time)
-        if nb.coincident:
-            return 0.0  # the disk is active then anyway
-        lead = next_time - nb.leader
-        follow = nb.follower - next_time
+        tl = self._timeline(disk)
+        if next_time in tl:  # coincident: the disk is active anyway
+            return 0.0
+        leader, follower, _ = tl.neighbors_tuple(next_time)
+        lead = next_time - leader
+        follow = follower - next_time
         if follow < 0:
             follow = 0.0  # next access beyond the trace end
         e = self._energy
@@ -168,13 +170,15 @@ class OPGPolicy(OfflinePolicy):
 
     def _split_gap(self, disk: int, time: float) -> None:
         """A new known access at ``time``: re-evaluate blocks in the gap."""
-        nb = self._timeline(disk).insert(time)
+        nb = self._timeline(disk).insert_tuple(time)
         if nb is None:
             return  # already known; no penalties change
-        res = self._res[disk]
-        lo = bisect.bisect_right(res, (nb.leader, _INF))
-        hi = bisect.bisect_left(res, (nb.follower,))
-        for nt, block in res[lo:hi]:
+        # residents with leader < next_time < follower, exclusive on
+        # both ends ((leader, _INF) outranks every real (leader, blk))
+        gap = self._res[disk].irange(
+            (nb[0], _INF), (nb[1],), inclusive=(False, False)
+        )
+        for nt, block in gap:
             self._push((disk, block))
 
     # -- residency bookkeeping --------------------------------------------------
@@ -182,17 +186,19 @@ class OPGPolicy(OfflinePolicy):
     def _track(self, key: BlockKey, next_time: float) -> None:
         disk, block = key
         self._timeline(disk)  # ensure structures exist
-        bisect.insort(self._res[disk], (next_time, block))
+        # never-referenced-again residents stay out of the range
+        # structure: a gap walk's upper bound (the follower) is always
+        # finite, so an infinite next time can never fall inside one
+        if next_time != _INF:
+            self._res[disk].add((next_time, block))
         self._next_of[key] = next_time
         self._push(key)
 
     def _untrack(self, key: BlockKey) -> None:
         disk, block = key
         nt = self._next_of.pop(key)
-        res = self._res[disk]
-        i = bisect.bisect_left(res, (nt, block))
-        if i < len(res) and res[i] == (nt, block):
-            res.pop(i)
+        if nt != _INF:
+            self._res[disk].discard((nt, block))
         self._stamp[key] = self._stamp.get(key, 0) + 1  # invalidate heap
 
     # -- policy contract -------------------------------------------------------------

@@ -17,6 +17,7 @@ The per-request response time is the slowest of its block accesses.
 
 from __future__ import annotations
 
+import gc
 from bisect import bisect_left, bisect_right, insort
 from heapq import heappop, heappush
 from math import inf
@@ -31,6 +32,7 @@ from repro.cache.write.write_back import WriteBackPolicy
 from repro.cache.write.wtdu import WTDUPolicy
 from repro.core import kernels
 from repro.core.bloom import BloomFilter
+from repro.core.chunked import ChunkedSortedList
 from repro.core.classifier import DiskClass, DiskClassifier
 from repro.core.opg import OPGPolicy
 from repro.core.pa import PowerAwarePolicy
@@ -287,12 +289,26 @@ class StorageSimulator:
             )
         times, disks, blocks, nblocks, writes = trace.as_lists()
         if self.probe is None:
-            fused = self._fused_loop_for(trace)
-            if fused is not None:
-                return fused(trace, times, disks, blocks, writes)
-            return self._run_columnar_fast(
-                times, disks, blocks, nblocks, writes
-            )
+            # The hot loops allocate tracked objects (heap tuples, res
+            # items, block states) by the million while holding large
+            # live container graphs, so generational GC rescans cost
+            # 10-15% of the run; the loops create no reference cycles
+            # (refcounting frees everything promptly), so cyclic GC is
+            # pure overhead here. Suspend it for the batch, restore in
+            # any case.
+            was_enabled = gc.isenabled()
+            if was_enabled:
+                gc.disable()
+            try:
+                fused = self._fused_loop_for(trace)
+                if fused is not None:
+                    return fused(trace, times, disks, blocks, writes)
+                return self._run_columnar_fast(
+                    times, disks, blocks, nblocks, writes
+                )
+            finally:
+                if was_enabled:
+                    gc.enable()
 
         cache_access = self.cache.access
         on_write = self.write_policy.on_write
@@ -542,7 +558,10 @@ class StorageSimulator:
         subclass could override any hook), a single-block trace (the
         kernels model one access per request), no prefetcher (prefetch
         admissions would desynchronize the precomputed Bloom/next-access
-        plans), and a numpy backend. Anything else takes the generic
+        plans), and a numpy backend. The OPG loop additionally requires
+        a write policy that never pins blocks (``pins_blocks``): it
+        inlines eviction without the pinned-block ``_make_room``
+        fallback. Anything else takes the generic
         ``_run_columnar_fast`` with polymorphic policy calls.
         """
         if self.prefetcher is not None or not kernels.have_numpy():
@@ -561,7 +580,13 @@ class StorageSimulator:
             and not policy._home
         ):
             return self._run_columnar_fast_pa
-        if type(policy) is OPGPolicy and not policy._next_of:
+        if (
+            type(policy) is OPGPolicy
+            and not policy._next_of
+            # the OPG loop inlines eviction without the pinned-block
+            # make_room fallback, so the write policy must never pin
+            and not self.write_policy.pins_blocks
+        ):
             return self._run_columnar_fast_opg
         return None
 
@@ -818,23 +843,46 @@ class StorageSimulator:
         skipped (the access stream IS the prepared columnar trace; each
         access's next-reference time rides along in the main ``zip``),
         untrack/track pairs are fused (one net ``+2`` stamp bump, one
-        push), ``Neighbors`` construction is replaced by inline bisect,
-        and each penalty's three idle-energy evaluations collapse into
+        push), the push itself is inlined once into the main loop body
+        (the ``push`` closure remains only for the gap splitter's
+        re-pushes), the chunked-container operations (timeline neighbor
+        lookup/insert, res add/discard/range-walk) are inlined against
+        per-disk hoists of the two-level ``_chunks``/``_maxes``
+        representation, and each penalty's three idle-energy evaluations
+        collapse into
         one inline segment-table walk (the
         :meth:`~repro.power.dpm._SegmentTable.split_penalty` arithmetic
         with the table columns hoisted into closure locals) when the
         energy function is an unoverridden ``PracticalDPM.idle_energy``
         — plus a one-comparison shortcut for gaps inside the first
         residency segment, where all three lookups share segment 0 and
-        no bisect is needed.
+        no bisect is needed, and per-value first/last-segment lanes
+        that replace the bisect with one or two float compares for the
+        (measured-dominant) below-``bounds[0]`` / above-``bounds[-1]``
+        distances. Misses never split the timeline: a cold miss's time
+        was seeded during prepare, and a repeat miss occurs exactly at
+        the recorded next-access time some earlier eviction already
+        inserted — so the miss path carries no gap-split probe at all.
+        When the write policy is exactly ``WriteBackPolicy`` (the class
+        is fast-path audited), its three hooks are inlined: clean
+        evictions skip the ``on_evicted`` call, dirty victims flush
+        directly, and ``on_write`` becomes the ``mark_dirty`` update on
+        the state object already in hand.
 
-        All structures (``_next_of``, ``_stamp``, ``_heap``, ``_res``,
-        timelines) are the policy's live objects, so scalar fallbacks
-        (``_make_room`` with pinned blocks) interleave coherently.
-        Write-back activity notifications are rerouted from the scalar
-        ``note_disk_activity`` to the fused gap splitter for the
-        duration of the loop — same timeline inserts, same re-pushes,
-        same stamps. ``_last_access`` is deliberately left unmaintained:
+        The heap, ``_res`` lists and timelines are the policy's live
+        objects; per-block next-time and stamp ride the cache's
+        ``BlockState`` scratch slots (``opg_nt``/``opg_stamp``) so the
+        hit path's residency probe is the only per-access dict lookup,
+        and the ``_next_of``/``_stamp`` dicts are folded back from the
+        surviving states when the loop exits. The fused-loop gate
+        excludes pinning write policies, so no scalar policy call that
+        could read the stale dicts (``_make_room`` → ``evict``) can
+        interleave. Write-back activity notifications are rerouted from
+        the scalar ``note_disk_activity`` straight to the fused gap
+        splitter for the duration of the loop (it self-detects
+        already-known times via its locating bisect) — same timeline
+        inserts, same re-pushes, same stamps.
+        ``_last_access`` is deliberately left unmaintained:
         its only consumer is ``on_insert``'s never-accessed guard, and
         every ``on_insert`` reachable from the fused loop is a
         pinned-victim re-insert that short-circuits on ``_next_of``.
@@ -881,17 +929,68 @@ class StorageSimulator:
             prefix0 = res_prefix[0]
             cursor0 = res_cursor[0]
             power0 = res_power[0]
+            spin0 = res_spin[0]
+            # Pre-resolved first/last-segment constants: measured on
+            # the benchmark workload, ~63% of leads and ~47% of
+            # follows/wholes land below bounds[0] or above bounds[-1],
+            # so one comparison replaces the bisect for them (the
+            # residual middle still walks). bounds comes in
+            # (sleep_start, next_resume) pairs, so a beyond-the-end
+            # value's bisect index len(bounds) is even and resolves to
+            # residency segment len(bounds)//2; an odd length would
+            # break that (and IndexError in the generic walk), so the
+            # shortcut is disabled (bN = inf) on malformed tables.
+            nbounds = len(bounds)
+            if nbounds and not nbounds & 1:
+                bN = bounds[-1]
+                jn = nbounds >> 1
+                prefN = res_prefix[jn]
+                curN = res_cursor[jn]
+                powN = res_power[jn]
+                modeN = res_mode[jn] != 0
+                spinN = res_spin[jn]
+            else:
+                bN = inf
+                prefN = curN = powN = spinN = 0.0
+                modeN = False
         next_of = policy._next_of
         stamps = policy._stamp
         stamps_get = stamps.get
         heap = policy._heap
-        res = policy._res
         # Every timeline shares the run's start/end and is pre-seeded
         # for each disk the trace touches (prepare/prepare_columnar),
-        # so the DiskTimeline internals can be hoisted into flat
-        # per-disk dicts; scalar fallbacks mutate the same aliased
-        # lists.
-        tl_times = {d: tl._times for d, tl in policy._timelines.items()}
+        # and the per-disk ``_res`` chunked lists exist alongside them,
+        # so the chunked two-level representation (``_chunks`` +
+        # ``_maxes``, both mutated in place and never rebound) can be
+        # hoisted into flat per-disk tables and the container operations
+        # inlined below — same bisects on the same lists in the same
+        # order as the methods, minus ~3M Python calls per million
+        # requests. Disk ids are small contiguous ints, so the tables
+        # are plain lists indexed by disk (cheaper than dict hashing on
+        # the hot path; unseeded ids can't appear in the loop, their
+        # slots stay None). Scalar fallbacks mutate the same aliased
+        # lists; the inlined mutations skip only the containers' _len
+        # counter (nothing in the loop reads it), restored in finally.
+        timelines = policy._timelines
+        res_lists = policy._res
+        ndisks = max(timelines, default=-1) + 1
+        tl_lists: list = [None] * ndisks
+        tl_chunks: list = [None] * ndisks
+        tl_maxes: list = [None] * ndisks
+        res_chunks: list = [None] * ndisks
+        res_maxes: list = [None] * ndisks
+        cap = 0
+        for d, tl in timelines.items():
+            t = tl._times
+            tl_lists[d] = t
+            tl_chunks[d] = t._chunks
+            tl_maxes[d] = t._maxes
+            r = res_lists[d]
+            res_chunks[d] = r._chunks
+            res_maxes[d] = r._maxes
+            # every container is built with the same default load
+            cap = t._cap
+            assert r._cap == cap
         tl_start = policy._start_time
         tl_end = policy._trace_end
 
@@ -900,14 +999,33 @@ class StorageSimulator:
             if nt == inf:
                 pen = 0.0
             else:
-                tlist = tl_times[disk]
-                i2 = bisect_left(tlist, nt)
-                n2 = len(tlist)
-                if i2 < n2 and tlist[i2] == nt:
-                    pen = 0.0  # coincident with a known access
+                # DiskTimeline.neighbors_tuple inlined (the timeline
+                # always holds start, so its maxes index is never
+                # empty). Coincidence — nt already a known access,
+                # penalty zero — falls out of the same bisect that
+                # finds the follower, so no separate hash probe. In
+                # the append branch nt is beyond every known time; it
+                # can at most equal the synthetic tl_end follower,
+                # where the penalty is e(lead) + e(0) - e(lead) = 0
+                # (energy_fn(0) == 0 contract), matching pen = 0.
+                maxes = tl_maxes[disk]
+                ci = bisect_left(maxes, nt)
+                if ci == len(maxes):
+                    leader = maxes[-1]
+                    follower = tl_end
                 else:
-                    leader = tlist[i2 - 1] if i2 > 0 else tl_start
-                    follower = tlist[i2] if i2 < n2 else tl_end
+                    chunk = tl_chunks[disk][ci]
+                    i = bisect_left(chunk, nt)
+                    follower = chunk[i]
+                    if i > 0:
+                        leader = chunk[i - 1]
+                    elif ci > 0:
+                        leader = maxes[ci - 1]
+                    else:
+                        leader = tl_start
+                if follower == nt:
+                    pen = 0.0  # coincident: the disk is active anyway
+                else:
                     lead = nt - leader
                     follow = follower - nt
                     if follow < 0.0:
@@ -925,39 +1043,90 @@ class StorageSimulator:
                                 - (prefix0 + (whole - cursor0) * power0)
                             )
                         else:
-                            idx = bisect_left(bounds, lead)
-                            if idx & 1 and bounds[idx] != lead:
-                                e_l = sh_ie[idx >> 1]
+                            # Per-value fast lanes around the bisect
+                            # (ordered by measured frequency): below
+                            # bounds[0] resolves to segment 0, above
+                            # bounds[-1] to the last segment — both
+                            # with the generic walk's exact j == 0 /
+                            # j == len//2 expressions, so the floats
+                            # match bit for bit.
+                            if lead <= b0:
+                                e_l = prefix0 + (lead - cursor0) * power0
+                                if not seg0_flat:
+                                    e_l = e_l + spin0
+                            elif lead > bN:
+                                e_l = prefN + (lead - curN) * powN
+                                if modeN:
+                                    e_l = e_l + spinN
                             else:
-                                j = (idx + 1) >> 1 if idx & 1 else idx >> 1
-                                e_l = (
-                                    res_prefix[j]
-                                    + (lead - res_cursor[j]) * res_power[j]
-                                )
-                                if res_mode[j] != 0:
-                                    e_l = e_l + res_spin[j]
-                            idx = bisect_left(bounds, follow)
-                            if idx & 1 and bounds[idx] != follow:
-                                e_f = sh_ie[idx >> 1]
-                            else:
-                                j = (idx + 1) >> 1 if idx & 1 else idx >> 1
+                                idx = bisect_left(bounds, lead)
+                                if idx & 1 and bounds[idx] != lead:
+                                    e_l = sh_ie[idx >> 1]
+                                else:
+                                    j = (
+                                        (idx + 1) >> 1
+                                        if idx & 1
+                                        else idx >> 1
+                                    )
+                                    e_l = (
+                                        res_prefix[j]
+                                        + (lead - res_cursor[j])
+                                        * res_power[j]
+                                    )
+                                    if res_mode[j] != 0:
+                                        e_l = e_l + res_spin[j]
+                            if follow > bN:
+                                e_f = prefN + (follow - curN) * powN
+                                if modeN:
+                                    e_f = e_f + spinN
+                            elif follow <= b0:
                                 e_f = (
-                                    res_prefix[j]
-                                    + (follow - res_cursor[j]) * res_power[j]
+                                    prefix0 + (follow - cursor0) * power0
                                 )
-                                if res_mode[j] != 0:
-                                    e_f = e_f + res_spin[j]
-                            idx = bisect_left(bounds, whole)
-                            if idx & 1 and bounds[idx] != whole:
-                                e_w = sh_ie[idx >> 1]
+                                if not seg0_flat:
+                                    e_f = e_f + spin0
                             else:
-                                j = (idx + 1) >> 1 if idx & 1 else idx >> 1
-                                e_w = (
-                                    res_prefix[j]
-                                    + (whole - res_cursor[j]) * res_power[j]
-                                )
-                                if res_mode[j] != 0:
-                                    e_w = e_w + res_spin[j]
+                                idx = bisect_left(bounds, follow)
+                                if idx & 1 and bounds[idx] != follow:
+                                    e_f = sh_ie[idx >> 1]
+                                else:
+                                    j = (
+                                        (idx + 1) >> 1
+                                        if idx & 1
+                                        else idx >> 1
+                                    )
+                                    e_f = (
+                                        res_prefix[j]
+                                        + (follow - res_cursor[j])
+                                        * res_power[j]
+                                    )
+                                    if res_mode[j] != 0:
+                                        e_f = e_f + res_spin[j]
+                            if whole > bN:
+                                e_w = prefN + (whole - curN) * powN
+                                if modeN:
+                                    e_w = e_w + spinN
+                            elif whole <= b0:
+                                e_w = prefix0 + (whole - cursor0) * power0
+                                if not seg0_flat:
+                                    e_w = e_w + spin0
+                            else:
+                                idx = bisect_left(bounds, whole)
+                                if idx & 1 and bounds[idx] != whole:
+                                    e_w = sh_ie[idx >> 1]
+                                else:
+                                    j = (
+                                        (idx + 1) >> 1
+                                        if idx & 1
+                                        else idx >> 1
+                                    )
+                                    e_w = (
+                                        res_prefix[j]
+                                        + (whole - res_cursor[j])
+                                        * res_power[j]
+                                    )
+                                    if res_mode[j] != 0:
+                                        e_w = e_w + res_spin[j]
                             pen = e_l + e_f - e_w
                         if pen <= 0.0:
                             pen = 0.0
@@ -974,38 +1143,111 @@ class StorageSimulator:
             heappush(heap, (pen, -nt, stamp, disk, block))
 
         def split_gap(disk: int, at: float) -> None:
-            # _split_gap with DiskTimeline.insert_tuple inlined: record
-            # the known access, then re-push residents in the split gap
-            tlist = tl_times[disk]
-            i2 = bisect_left(tlist, at)
-            n2 = len(tlist)
-            if i2 < n2 and tlist[i2] == at:
-                return  # already known; no penalties change
-            leader = tlist[i2 - 1] if i2 > 0 else tl_start
-            follower = tlist[i2] if i2 < n2 else tl_end
-            tlist.insert(i2, at)
-            rlist = res[disk]
-            lo = bisect_right(rlist, (leader, inf))
-            hi = bisect_left(rlist, (follower,))
-            if lo < hi:
-                for nt2, blk in rlist[lo:hi]:
-                    k2 = (disk, blk)
-                    st2 = stamps_get(k2, 0) + 1
-                    stamps[k2] = st2
-                    push(disk, blk, nt2, st2)
+            # _split_gap with ChunkedSortedList.insert_unique and the
+            # exclusive res irange inlined: one fused locate+insert on
+            # the timeline, then a lazy forward walk over residents
+            # strictly inside the split gap — start past (leader, inf),
+            # stop at the first next-time >= follower (the bisect
+            # identity for the (False, False) bounds; most gaps hold no
+            # resident, so the walk usually ends at its first
+            # comparison without locating the hi bound at all).
+            # Already-known times fall out of the locating bisect
+            # itself (follower == at), so callers and this body pay no
+            # hash probe on the known set; the append branch needs no
+            # check at all, since every known time is <= maxes[-1].
+            # Nothing in the loop reads the timeline's _known mirror
+            # either, so it is not maintained here — the finally
+            # below rebuilds it from the chunks in one pass.
+            maxes = tl_maxes[disk]
+            chunks = tl_chunks[disk]
+            ci = bisect_left(maxes, at)
+            if ci == len(maxes):
+                ci -= 1
+                chunk = chunks[ci]
+                leader = chunk[-1]
+                chunk.append(at)
+                maxes[ci] = at
+                follower = tl_end
+            else:
+                chunk = chunks[ci]
+                i = bisect_left(chunk, at)
+                follower = chunk[i]
+                if follower == at:
+                    return  # already known; no penalties change
+                if i > 0:
+                    leader = chunk[i - 1]
+                elif ci > 0:
+                    leader = maxes[ci - 1]
+                else:
+                    leader = tl_start
+                chunk.insert(i, at)
+            if len(chunk) > cap:
+                tl_lists[disk]._split(ci)
+            rmaxes = res_maxes[disk]
+            if not rmaxes:
+                return
+            lo = (leader, inf)
+            ci = bisect_right(rmaxes, lo)
+            if ci == len(rmaxes):
+                return
+            rchunks = res_chunks[disk]
+            chunk = rchunks[ci]
+            i = bisect_right(chunk, lo)
+            while True:
+                if i == len(chunk):
+                    ci += 1
+                    if ci == len(rchunks):
+                        return
+                    chunk = rchunks[ci]
+                    i = 0
+                    continue
+                nt2, blk = chunk[i]
+                if nt2 >= follower:
+                    return
+                # validate against the live state: evictions leave
+                # their res entry in place (the victim's next time sits
+                # strictly inside the very gap its eviction splits, so
+                # this walk is what cleans it up — cheaper than a
+                # separate locate-and-delete on the evict path)
+                s2 = blocks_get((disk, blk))
+                if s2 is None or s2.opg_nt != nt2:
+                    del chunk[i]
+                    if not chunk:
+                        del rchunks[ci]
+                        del rmaxes[ci]
+                        if ci == len(rchunks):
+                            return
+                        chunk = rchunks[ci]
+                        i = 0
+                    elif i == len(chunk):
+                        rmaxes[ci] = chunk[-1]
+                    continue
+                i += 1
+                st2 = s2.opg_stamp + 1
+                s2.opg_stamp = st2
+                push(disk, blk, nt2, st2)
 
-        # -- engine locals (mirrors _run_columnar_fast) ------------------
+        # -- engine locals (mirrors _run_columnar_fast; no make_room —
+        # the non-pinning write-policy gate makes the scalar fallback
+        # unreachable, eviction is always the inline heap pop) -----------
         blocks = cache._blocks
         blocks_get = blocks.get
-        blocks_pop = blocks.pop
         stats = cache.stats
         seen = stats._seen
-        make_room = cache._make_room
         capacity = cache.capacity
+        cap_limit = inf if capacity is None else capacity
         dirty_get = cache._dirty_by_disk.get
+        dirty_setdefault = cache._dirty_by_disk.setdefault
         write_policy = self.write_policy
         on_write = write_policy.on_write
         on_evicted = write_policy.on_evicted
+        # WriteBackPolicy's hooks inlined under an exact-type gate (the
+        # class is FAST_PATH_AUDITED): on_evicted is a dirty-bit check
+        # in front of _write_to_disk, and on_write is cache.mark_dirty
+        # returning 0.0 client latency. Mirroring both in the loop lets
+        # the clean majority of evictions skip the call entirely.
+        wb_exact = type(write_policy) is WriteBackPolicy
+        wb_flush = write_policy._write_to_disk
         after_read_wake = (
             None
             if type(write_policy).after_read_wake
@@ -1028,9 +1270,32 @@ class StorageSimulator:
         # Reroute write-back activity notifications (attach() bound the
         # scalar note_disk_activity) through the fused gap splitter;
         # restored below even on error.
+        # The gap splitter doubles as the activity listener directly —
+        # its signature matches, and it self-detects already-known
+        # times — so flush notifications (mostly dirty victims landing
+        # on a *different* disk whose timeline has not seen this
+        # instant) pay no wrapper call.
         saved_listener = write_policy.activity_listener
         if saved_listener is not None:
             write_policy.activity_listener = split_gap
+        # With no observability probe wired, _write_to_disk reduces to
+        # a per-disk submit, a counter bump, and the listener call —
+        # which is split_gap itself for the loop's duration — so the
+        # dirty-victim flush sites below submit directly and skip two
+        # delegation frames per flush; the deferred counter is folded
+        # back in the finally.
+        wb_direct = (
+            wb_exact
+            and write_policy.probe is None
+            and saved_listener is not None
+        )
+        wb_writes = 0
+        # Residency count tracked as a local: loop code is the only
+        # mutator of cache membership while the fused loop runs (write
+        # policies flush/mark but never insert or remove), and every
+        # eviction is immediately followed by an insert, so only the
+        # below-capacity warmup inserts move it.
+        nblocks = len(blocks)
 
         time = 0.0
         try:
@@ -1043,113 +1308,385 @@ class StorageSimulator:
                 if state is not None:
                     # on_access(hit): fused untrack + track (+2 stamp,
                     # one push — same final stamp and tuple as the
-                    # scalar pair)
-                    # overwrite instead of scalar pop-then-set: only
-                    # membership and values of _next_of are observed,
-                    # never its insertion order
-                    nt_old = next_of[key]
-                    next_of[key] = nt_new
-                    rlist = res[disk]
-                    j = bisect_left(rlist, (nt_old, block))
-                    if j < len(rlist) and rlist[j] == (nt_old, block):
-                        rlist.pop(j)
-                    insort(rlist, (nt_new, block))
-                    st = stamps_get(key, 0) + 2
-                    stamps[key] = st
-                    push(disk, block, nt_new, st)
-                    if is_write:
-                        latency = on_write(key, time)
-                        if latency > worst:
-                            worst = latency
+                    # scalar pair), with next-time and stamp read off
+                    # the state object the residency probe already
+                    # fetched instead of the policy dicts (rebuilt in
+                    # the finally below)
+                    nt_old = state.opg_nt
+                    state.opg_nt = nt_new
+                    # res discard + add inlined (resident finite-nt
+                    # blocks are always tracked, so the discarded item
+                    # exists; nt_old is this access's own time, hence
+                    # finite — the guard mirrors _untrack's). Infinite
+                    # next times stay out of res entirely: a gap walk's
+                    # follower bound is always finite. The item is
+                    # (almost) always the res front: every live entry
+                    # is a pending future access >= now == nt_old, and
+                    # anything ordered below it is a provably-stale
+                    # leftover of a lazy eviction — purge those
+                    # wholesale, then pop the front without a bisect.
+                    rmaxes = res_maxes[disk]
+                    rchunks = res_chunks[disk]
+                    if nt_old != inf:
+                        item = (nt_old, block)
+                        chunk = rchunks[0]
+                        while chunk[-1][0] < nt_old:
+                            del rchunks[0]
+                            del rmaxes[0]
+                            chunk = rchunks[0]
+                        if chunk[0][0] < nt_old:
+                            del chunk[: bisect_left(chunk, (nt_old, -1))]
+                        if chunk[0] == item:
+                            del chunk[0]
+                            if not chunk:
+                                del rchunks[0]
+                                del rmaxes[0]
+                        else:
+                            # coincident timestamps: locate exactly
+                            ci = bisect_left(rmaxes, item)
+                            chunk = rchunks[ci]
+                            i = bisect_left(chunk, item)
+                            del chunk[i]
+                            if not chunk:
+                                del rchunks[ci]
+                                del rmaxes[ci]
+                            elif i == len(chunk):
+                                rmaxes[ci] = chunk[-1]
+                    if nt_new != inf:
+                        item = (nt_new, block)
+                        if not rmaxes:
+                            rchunks.append([item])
+                            rmaxes.append(item)
+                        else:
+                            ci = bisect_right(rmaxes, item)
+                            if ci == len(rmaxes):
+                                ci -= 1
+                                chunk = rchunks[ci]
+                                chunk.append(item)
+                                rmaxes[ci] = item
+                            else:
+                                chunk = rchunks[ci]
+                                insort(chunk, item)
+                            if len(chunk) > cap:
+                                res_lists[disk]._split(ci)
+                    st = state.opg_stamp + 2
+                    state.opg_stamp = st
+                    bstate = state
+                    vkey = None
                 else:
                     n_miss += 1
                     if key not in seen:
                         n_cold += 1
                         seen.add(key)
-                    # on_access(miss): the disk is known active now
-                    split_gap(disk, time)
-                    if capacity is not None and len(blocks) >= capacity:
-                        if (
-                            cache._pinned == 0
-                            and len(blocks) == capacity
-                            and next_of
-                        ):
-                            # OPG.evict inlined (lazy heap, fused
-                            # untrack)
-                            while heap:
-                                pen, neg_nt, st, vd, vb = heappop(heap)
-                                vkey = (vd, vb)
-                                if (
-                                    stamps_get(vkey) != st
-                                    or vkey not in next_of
-                                ):
-                                    continue
-                                nt_v = next_of.pop(vkey)
-                                rlist = res[vd]
-                                j = bisect_left(rlist, (nt_v, vb))
-                                if (
-                                    j < len(rlist)
-                                    and rlist[j] == (nt_v, vb)
-                                ):
-                                    rlist.pop(j)
-                                stamps[vkey] = st + 1
-                                if nt_v != inf:
-                                    split_gap(vd, nt_v)
-                                victim = vkey
-                                break
-                            else:
-                                raise PolicyError(
-                                    "OPG: evict with no resident blocks"
-                                )
-                            vstate = blocks_pop(victim, None)
-                            if vstate is None:
-                                raise SimulationError(
-                                    "policy evicted non-resident block "
-                                    f"{victim}"
-                                )
-                            n_evict += 1
-                            if vstate.dirty:
-                                n_dirty_evict += 1
-                                bucket = dirty_get(victim[0])
-                                if bucket is not None:
-                                    bucket.discard(victim)
-                            evicted = ((victim, vstate),)
+                    # on_access(miss) performs no timeline split here:
+                    # every miss lands on an already-known time — cold
+                    # misses are seeded by prepare, and a repeat miss
+                    # IS its block's recorded next-access time,
+                    # inserted the moment that block was evicted — so
+                    # the scalar path's split_gap is always the
+                    # already-known no-op (the differential suite and
+                    # the non-pinning gate keep the invariant honest).
+                    vkey = None
+                    if nblocks >= cap_limit:
+                        # OPG.evict inlined (lazy heap, fused untrack).
+                        # A heap entry is live iff its block is
+                        # resident AND its stamp is the block's current
+                        # one — the same acceptance set as the scalar
+                        # stamps/_next_of test, since untracked keys
+                        # always carry a bumped stamp no entry matches.
+                        while heap:
+                            pen, neg_nt, st, vd, vb = heappop(heap)
+                            vkey = (vd, vb)
+                            vstate = blocks_get(vkey)
+                            if vstate is None or vstate.opg_stamp != st:
+                                continue
+                            del blocks[vkey]
+                            nt_v = vstate.opg_nt
+                            # no eager res discard: the victim's entry
+                            # sits strictly inside the gap split below,
+                            # whose walk drops it (now stale) in place
+                            # — the untrack stamp bump outlives the
+                            # eviction (a re-insert continues the
+                            # sequence), so it goes to the dict, not
+                            # the dying state
+                            stamps[vkey] = st + 1
+                            if nt_v != inf:
+                                split_gap(vd, nt_v)
+                            break
                         else:
-                            evicted = make_room(time)
+                            raise PolicyError(
+                                "OPG: evict with no resident blocks"
+                            )
+                        n_evict += 1
+                        vdirty = vstate.dirty
+                        if vdirty:
+                            n_dirty_evict += 1
+                            bucket = dirty_get(vd)
+                            if bucket is not None:
+                                bucket.discard(vkey)
                     else:
-                        evicted = ()
-                    blocks[key] = block_state()
+                        nblocks += 1
                     # on_insert inlined: track at this access's next
-                    # time (split_gap above guaranteed res[disk]
-                    # exists)
-                    insort(res[disk], (nt_new, block))
-                    next_of[key] = nt_new
+                    # time (prepare seeded res for every traced disk;
+                    # inf next times stay out of res). A re-inserted
+                    # block resumes its stamp sequence from the dict
+                    # entry its last eviction left behind.
                     st = stamps_get(key, 0) + 1
-                    stamps[key] = st
-                    push(disk, block, nt_new, st)
-                    if is_write:
-                        for victim, vstate in evicted:
-                            on_evicted(victim, vstate, time)
+                    if vkey is not None and wb_exact:
+                        # recycle the victim's state object: its dirty
+                        # bit is captured above and inlined write-back
+                        # reads nothing else from it, so the fields can
+                        # be reset in place — a full-cache workload
+                        # otherwise allocates one BlockState per miss
+                        bstate = vstate
+                        bstate.dirty = False
+                        bstate.logged = False
+                        bstate.prefetched = False
+                        bstate.opg_nt = nt_new
+                        bstate.opg_stamp = st
+                    else:
+                        bstate = block_state(False, False, False, nt_new, st)
+                    blocks[key] = bstate
+                    if nt_new != inf:
+                        rmaxes = res_maxes[disk]
+                        item = (nt_new, block)
+                        if not rmaxes:
+                            res_chunks[disk].append([item])
+                            rmaxes.append(item)
+                        else:
+                            ci = bisect_right(rmaxes, item)
+                            if ci == len(rmaxes):
+                                ci -= 1
+                                chunk = res_chunks[disk][ci]
+                                chunk.append(item)
+                                rmaxes[ci] = item
+                            else:
+                                chunk = res_chunks[disk][ci]
+                                insort(chunk, item)
+                            if len(chunk) > cap:
+                                res_lists[disk]._split(ci)
+                # -- push(disk, block, nt_new, st) inlined: hit and
+                # miss funnel through this single copy (the closure
+                # above still serves the gap-split walk), trading one
+                # closure call per access for the shared tail below --------
+                if nt_new == inf:
+                    pen = 0.0
+                else:
+                    maxes = tl_maxes[disk]
+                    ci = bisect_left(maxes, nt_new)
+                    if ci == len(maxes):
+                        leader = maxes[-1]
+                        follower = tl_end
+                    else:
+                        chunk = tl_chunks[disk][ci]
+                        i = bisect_left(chunk, nt_new)
+                        follower = chunk[i]
+                        if i > 0:
+                            leader = chunk[i - 1]
+                        elif ci > 0:
+                            leader = maxes[ci - 1]
+                        else:
+                            leader = tl_start
+                    if follower == nt_new:
+                        pen = 0.0  # coincident: disk active anyway
+                    else:
+                        lead = nt_new - leader
+                        follow = follower - nt_new
+                        if follow < 0.0:
+                            follow = 0.0
+                        if table is not None:
+                            whole = lead + follow
+                            if seg0_flat and whole <= b0:
+                                pen = (
+                                    (prefix0 + (lead - cursor0) * power0)
+                                    + (
+                                        prefix0
+                                        + (follow - cursor0) * power0
+                                    )
+                                    - (
+                                        prefix0
+                                        + (whole - cursor0) * power0
+                                    )
+                                )
+                            else:
+                                if lead <= b0:
+                                    e_l = (
+                                        prefix0 + (lead - cursor0) * power0
+                                    )
+                                    if not seg0_flat:
+                                        e_l = e_l + spin0
+                                elif lead > bN:
+                                    e_l = prefN + (lead - curN) * powN
+                                    if modeN:
+                                        e_l = e_l + spinN
+                                else:
+                                    idx = bisect_left(bounds, lead)
+                                    if idx & 1 and bounds[idx] != lead:
+                                        e_l = sh_ie[idx >> 1]
+                                    else:
+                                        j = (
+                                            (idx + 1) >> 1
+                                            if idx & 1
+                                            else idx >> 1
+                                        )
+                                        e_l = (
+                                            res_prefix[j]
+                                            + (lead - res_cursor[j])
+                                            * res_power[j]
+                                        )
+                                        if res_mode[j] != 0:
+                                            e_l = e_l + res_spin[j]
+                                if follow > bN:
+                                    e_f = prefN + (follow - curN) * powN
+                                    if modeN:
+                                        e_f = e_f + spinN
+                                elif follow <= b0:
+                                    e_f = (
+                                        prefix0
+                                        + (follow - cursor0) * power0
+                                    )
+                                    if not seg0_flat:
+                                        e_f = e_f + spin0
+                                else:
+                                    idx = bisect_left(bounds, follow)
+                                    if idx & 1 and bounds[idx] != follow:
+                                        e_f = sh_ie[idx >> 1]
+                                    else:
+                                        j = (
+                                            (idx + 1) >> 1
+                                            if idx & 1
+                                            else idx >> 1
+                                        )
+                                        e_f = (
+                                            res_prefix[j]
+                                            + (follow - res_cursor[j])
+                                            * res_power[j]
+                                        )
+                                        if res_mode[j] != 0:
+                                            e_f = e_f + res_spin[j]
+                                if whole > bN:
+                                    e_w = prefN + (whole - curN) * powN
+                                    if modeN:
+                                        e_w = e_w + spinN
+                                elif whole <= b0:
+                                    e_w = (
+                                        prefix0
+                                        + (whole - cursor0) * power0
+                                    )
+                                    if not seg0_flat:
+                                        e_w = e_w + spin0
+                                else:
+                                    idx = bisect_left(bounds, whole)
+                                    if idx & 1 and bounds[idx] != whole:
+                                        e_w = sh_ie[idx >> 1]
+                                    else:
+                                        j = (
+                                            (idx + 1) >> 1
+                                            if idx & 1
+                                            else idx >> 1
+                                        )
+                                        e_w = (
+                                            res_prefix[j]
+                                            + (whole - res_cursor[j])
+                                            * res_power[j]
+                                        )
+                                        if res_mode[j] != 0:
+                                            e_w = e_w + res_spin[j]
+                                pen = e_l + e_f - e_w
+                            if pen <= 0.0:
+                                pen = 0.0
+                        elif fast_split is not None:
+                            pen = fast_split(lead, follow)
+                        else:
+                            e_split = energy(lead) + energy(follow)
+                            e_whole = energy(lead + follow)
+                            pen = e_split - e_whole
+                            if pen < 0.0:
+                                pen = 0.0
+                if pen < theta:
+                    pen = theta
+                heappush(heap, (pen, -nt_new, st, disk, block))
+                # -- write/read tails; call order is identical to the
+                # scalar engine's (victim flush first, then the
+                # access's own write or read) ------------------------------
+                if is_write:
+                    if wb_exact:
+                        if vkey is not None and vdirty:
+                            if wb_direct:
+                                quick[vd](time, vb, True)
+                                wb_writes += 1
+                                split_gap(vd, time)
+                            else:
+                                wb_flush(vkey, time)
+                        # cache.mark_dirty(key) on the state in hand
+                        # (setdefault would allocate its default set on
+                        # every call; probe first, the bucket almost
+                        # always exists)
+                        if not (bstate.dirty or bstate.logged):
+                            bucket = dirty_get(disk)
+                            if bucket is None:
+                                dirty_setdefault(disk, set()).add(key)
+                            else:
+                                bucket.add(key)
+                        bstate.dirty = True
+                    else:
+                        if vkey is not None:
+                            on_evicted(vkey, vstate, time)
                         latency = on_write(key, time)
                         if latency > worst:
                             worst = latency
-                    else:
-                        latency, wake_delay = quick[disk](
-                            time, block, False
-                        )
-                        disk_reads += 1
-                        if latency > worst:
-                            worst = latency
-                        for victim, vstate in evicted:
-                            on_evicted(victim, vstate, time)
-                        if after_read_wake is not None:
-                            after_read_wake(
-                                disk, time, woke=wake_delay > 0
-                            )
+                elif state is None:
+                    latency, wake_delay = quick[disk](time, block, False)
+                    disk_reads += 1
+                    if latency > worst:
+                        worst = latency
+                    if vkey is not None:
+                        if wb_exact:
+                            if vdirty:
+                                if wb_direct:
+                                    quick[vd](time, vb, True)
+                                    wb_writes += 1
+                                    split_gap(vd, time)
+                                else:
+                                    wb_flush(vkey, time)
+                        else:
+                            on_evicted(vkey, vstate, time)
+                    if after_read_wake is not None:
+                        after_read_wake(disk, time, woke=wake_delay > 0)
                 append_response(worst)
         finally:
             if saved_listener is not None:
                 write_policy.activity_listener = saved_listener
+            write_policy.disk_writes += wb_writes
+            # the inlined timeline mutations bypass the containers'
+            # _len bookkeeping and the _known hash mirror (no loop
+            # code reads either); restore both invariants before
+            # handing the structures back
+            for tl in timelines.values():
+                t = tl._times
+                t._len = sum(map(len, t._chunks))
+                tl._known = set().union(*t._chunks)
+            # the loop never discards res entries eagerly (gap walks
+            # drop stale ones in place), so rebuild each disk's
+            # resident list exactly from the surviving block states —
+            # the same logical sequence the scalar path maintains
+            # eagerly; chunk layout is not observable through the
+            # container API
+            fresh: dict[int, list] = {d: [] for d in res_lists}
+            for (d, b), s in blocks.items():
+                if s.opg_nt != inf:
+                    fresh[d].append((s.opg_nt, b))
+            for d, items in fresh.items():
+                items.sort()
+                res_lists[d] = ChunkedSortedList.from_sorted(items)
+            # per-block next-time/stamp lived on the BlockState scratch
+            # slots during the loop; fold them back into the policy
+            # dicts so post-run callers (scalar on_remove/evict, a
+            # later incremental batch) see exactly the scalar-path
+            # state. Evicted blocks' stamps are already in the dict.
+            for k, s in blocks.items():
+                next_of[k] = s.opg_nt
+                stamps[k] = s.opg_stamp
 
         policy._cursor = n_total
         stats.accesses += n_total

@@ -1,0 +1,247 @@
+"""Unit tests for the chunked sorted container.
+
+Directed cases for :class:`repro.core.chunked.ChunkedSortedList`:
+construction and bulk loading, bisect-exact queries, the
+``insert_unique``/``neighbors`` contracts the OPG hot path relies on,
+and the chunk split/removal boundaries (forced with tiny loads). The
+randomized sweep against a ``list`` + ``bisect`` reference model lives
+in ``tests/property/test_chunked_properties.py``.
+"""
+
+import math
+from bisect import bisect_left, bisect_right
+
+import pytest
+
+from repro.core.chunked import DEFAULT_LOAD, ChunkedSortedList
+
+
+def _invariants(c: ChunkedSortedList) -> None:
+    """The structural invariants the module docstring promises."""
+    assert len(c._chunks) == len(c._maxes)
+    flat = []
+    for chunk, mx in zip(c._chunks, c._maxes):
+        assert chunk, "empty chunk left in place"
+        assert len(chunk) <= c._cap
+        assert mx == chunk[-1]
+        flat.extend(chunk)
+    assert flat == sorted(flat)
+    assert len(c) == len(flat) == c._len
+    assert c.to_list() == flat
+
+
+class TestConstruction:
+    def test_load_floor(self):
+        with pytest.raises(ValueError):
+            ChunkedSortedList(load=1)
+        ChunkedSortedList(load=2)  # the minimum is allowed
+
+    def test_default_load(self):
+        assert ChunkedSortedList()._load == DEFAULT_LOAD
+
+    def test_empty(self):
+        c = ChunkedSortedList(load=4)
+        assert len(c) == 0
+        assert list(c) == []
+        assert 1.0 not in c
+        assert c.index_left(1.0) == 0
+        assert c.index_right(1.0) == 0
+        assert c.neighbors(1.0) == (None, None, False)
+        assert list(c.irange()) == []
+        assert not c.discard(1.0)
+        with pytest.raises(IndexError):
+            c[0]
+
+    def test_from_sorted_splits_into_load_sized_chunks(self):
+        c = ChunkedSortedList.from_sorted(range(10), load=4)
+        assert c.to_list() == list(range(10))
+        assert [len(ch) for ch in c._chunks] == [4, 4, 2]
+        _invariants(c)
+
+    def test_from_sorted_keeps_duplicates(self):
+        seq = [1.0, 1.0, 2.0, 2.0, 2.0, 3.0]
+        c = ChunkedSortedList.from_sorted(seq, load=2)
+        assert c.to_list() == seq
+        _invariants(c)
+
+    def test_from_sorted_accepts_numpy(self):
+        np = pytest.importorskip("numpy")
+        arr = np.array([0.5, 1.5, 2.5])
+        c = ChunkedSortedList.from_sorted(arr, load=2)
+        assert c.to_list() == [0.5, 1.5, 2.5]
+        # tolist() conversion: elements are native floats, not scalars
+        assert all(type(v) is float for v in c)
+
+    def test_from_sorted_matches_adds(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        bulk = ChunkedSortedList.from_sorted(sorted(values), load=3)
+        incremental = ChunkedSortedList(load=3)
+        for v in values:
+            incremental.add(v)
+        assert bulk.to_list() == incremental.to_list()
+
+
+class TestQueries:
+    SEQ = [1.0, 3.0, 3.0, 5.0, 8.0, 13.0]
+
+    def _make(self):
+        return ChunkedSortedList.from_sorted(self.SEQ, load=2)
+
+    def test_contains(self):
+        c = self._make()
+        for v in self.SEQ:
+            assert v in c
+        for v in (0.0, 2.0, 9.0, 99.0):
+            assert v not in c
+
+    def test_getitem_positive_and_negative(self):
+        c = self._make()
+        for i in range(len(self.SEQ)):
+            assert c[i] == self.SEQ[i]
+            assert c[-1 - i] == self.SEQ[-1 - i]
+        with pytest.raises(IndexError):
+            c[len(self.SEQ)]
+        with pytest.raises(IndexError):
+            c[-len(self.SEQ) - 1]
+
+    def test_index_left_right_match_bisect(self):
+        c = self._make()
+        for v in (0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 14.0):
+            assert c.index_left(v) == bisect_left(self.SEQ, v)
+            assert c.index_right(v) == bisect_right(self.SEQ, v)
+
+    def test_neighbors_interior(self):
+        c = self._make()
+        assert c.neighbors(4.0) == (3.0, 5.0, False)
+        assert c.neighbors(5.0) == (3.0, 8.0, True)
+
+    def test_neighbors_edges(self):
+        c = self._make()
+        assert c.neighbors(0.5) == (None, 1.0, False)
+        assert c.neighbors(1.0) == (None, 3.0, True)
+        assert c.neighbors(13.0) == (8.0, None, True)
+        assert c.neighbors(99.0) == (13.0, None, False)
+
+    def test_neighbors_across_chunk_boundary(self):
+        # load=2 puts [1,3],[3,5],[8,13]: 3.0's duplicate pair straddles
+        # two chunks and 5.0's follower lives in the next chunk.
+        c = self._make()
+        assert c.neighbors(3.0) == (1.0, 3.0, True)
+        assert c.neighbors(6.0) == (5.0, 8.0, False)
+
+    def test_irange_default_half_open(self):
+        c = self._make()
+        assert list(c.irange(3.0, 8.0)) == [3.0, 3.0, 5.0]
+
+    def test_irange_inclusive_combinations(self):
+        c = self._make()
+        assert list(c.irange(3.0, 8.0, (True, True))) == [3.0, 3.0, 5.0, 8.0]
+        assert list(c.irange(3.0, 8.0, (False, True))) == [5.0, 8.0]
+        assert list(c.irange(3.0, 8.0, (False, False))) == [5.0]
+
+    def test_irange_unbounded(self):
+        c = self._make()
+        assert list(c.irange()) == self.SEQ
+        assert list(c.irange(lo=5.0)) == [5.0, 8.0, 13.0]
+        assert list(c.irange(hi=5.0)) == [1.0, 3.0, 3.0]
+
+    def test_irange_empty_windows(self):
+        c = self._make()
+        assert list(c.irange(6.0, 7.0)) == []
+        assert list(c.irange(20.0, 30.0)) == []
+        assert list(c.irange(8.0, 3.0)) == []
+
+    def test_irange_tuple_values(self):
+        # The OPG reservation lists hold (time, block) tuples; bounds
+        # use the same lexicographic order.
+        pairs = [(1.0, 7), (1.0, 9), (2.5, 1), (4.0, 3)]
+        c = ChunkedSortedList.from_sorted(pairs, load=2)
+        lo = (1.0, -1)
+        assert list(c.irange(lo, None, (True, True))) == pairs
+        assert list(c.irange((1.0, 8), (4.0, 3))) == [(1.0, 9), (2.5, 1)]
+
+
+class TestMutation:
+    def test_add_keeps_duplicates(self):
+        c = ChunkedSortedList(load=4)
+        for v in (2.0, 2.0, 1.0, 2.0):
+            c.add(v)
+        assert c.to_list() == [1.0, 2.0, 2.0, 2.0]
+        _invariants(c)
+
+    def test_add_splits_overfull_chunk(self):
+        c = ChunkedSortedList(load=2)  # cap = 4
+        for v in range(5):
+            c.add(float(v))
+            _invariants(c)
+        assert len(c._chunks) == 2
+        assert c.to_list() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_append_path_splits_too(self):
+        # Ascending adds exercise the tail-append fast path; the split
+        # must trigger there as well.
+        c = ChunkedSortedList.from_sorted([float(i) for i in range(4)], load=2)
+        c.add(4.0)
+        _invariants(c)
+        assert len(c._chunks) == 2
+
+    def test_insert_unique_reports_neighbors(self):
+        c = ChunkedSortedList(load=2)
+        assert c.insert_unique(5.0) == (None, None)
+        assert c.insert_unique(1.0) == (None, 5.0)
+        assert c.insert_unique(9.0) == (5.0, None)
+        assert c.insert_unique(6.0) == (5.0, 9.0)
+        assert c.to_list() == [1.0, 5.0, 6.0, 9.0]
+        _invariants(c)
+
+    def test_insert_unique_duplicate_returns_none(self):
+        c = ChunkedSortedList.from_sorted([1.0, 2.0], load=2)
+        assert c.insert_unique(2.0) is None
+        assert c.to_list() == [1.0, 2.0]
+
+    def test_insert_unique_splits(self):
+        c = ChunkedSortedList(load=2)
+        for v in (10.0, 20.0, 30.0, 40.0):
+            c.insert_unique(v)
+        assert c.insert_unique(25.0) == (20.0, 30.0)
+        _invariants(c)
+        assert len(c._chunks) == 2
+
+    def test_discard_leftmost_occurrence(self):
+        c = ChunkedSortedList.from_sorted([1.0, 2.0, 2.0, 3.0], load=4)
+        assert c.discard(2.0)
+        assert c.to_list() == [1.0, 2.0, 3.0]
+        _invariants(c)
+
+    def test_discard_missing(self):
+        c = ChunkedSortedList.from_sorted([1.0, 3.0], load=4)
+        assert not c.discard(2.0)
+        assert not c.discard(4.0)
+        assert c.to_list() == [1.0, 3.0]
+
+    def test_discard_updates_chunk_max(self):
+        c = ChunkedSortedList.from_sorted([1.0, 2.0, 3.0, 4.0], load=2)
+        assert c.discard(2.0)  # tail of the first chunk
+        _invariants(c)
+        assert c._maxes[0] == 1.0
+
+    def test_discard_removes_emptied_chunk(self):
+        c = ChunkedSortedList.from_sorted([1.0, 2.0, 3.0, 4.0], load=2)
+        assert c.discard(1.0) and c.discard(2.0)
+        _invariants(c)
+        assert len(c._chunks) == 1
+        assert c.to_list() == [3.0, 4.0]
+
+    def test_drain_completely(self):
+        c = ChunkedSortedList.from_sorted([float(i) for i in range(9)], load=2)
+        for i in range(9):
+            assert c.discard(float(i))
+            _invariants(c)
+        assert len(c) == 0 and c._chunks == [] and c._maxes == []
+
+    def test_inf_values(self):
+        # OPG timelines carry +inf as the open-ended follower bound.
+        c = ChunkedSortedList(load=2)
+        c.add(math.inf)
+        assert c.insert_unique(1.0) == (None, math.inf)
+        assert c.neighbors(2.0) == (1.0, math.inf, False)

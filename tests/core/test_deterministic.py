@@ -57,3 +57,57 @@ class TestDiskTimeline:
             tl.insert(t)
         nb = tl.neighbors(40.0)
         assert nb.leader == 30.0 and nb.follower == 50.0
+
+
+class TestFromSorted:
+    """Bulk construction, including the times-precede-start merge.
+
+    ``from_sorted`` promises "exactly the state of inserting each time
+    one by one". The branch where ``times[0] < start`` used to fall
+    back to per-element ``insert`` calls — O(n) memmoves each, O(n^2)
+    for the build — so it gets a dedicated equivalence check alongside
+    the common start-leads case.
+    """
+
+    def _incremental(self, times, start, end):
+        tl = DiskTimeline(start=start, end=end)
+        for t in times:
+            tl.insert(t)
+        return tl
+
+    def test_start_precedes_all_times(self):
+        times = [10.0, 20.0, 30.0]
+        tl = DiskTimeline.from_sorted(times, start=0.0, end=100.0)
+        ref = self._incremental(times, start=0.0, end=100.0)
+        assert tl._times.to_list() == ref._times.to_list()
+        assert tl._known == ref._known
+
+    def test_times_precede_start_single_merge(self):
+        # Regression: start merged mid-sequence, not prepended.
+        times = [1.0, 2.0, 5.0, 7.0]
+        tl = DiskTimeline.from_sorted(times, start=3.0, end=100.0)
+        assert tl._times.to_list() == [1.0, 2.0, 3.0, 5.0, 7.0]
+        assert 3.0 in tl and 1.0 in tl
+        nb = tl.neighbors(4.0)
+        assert nb.leader == 3.0 and nb.follower == 5.0
+
+    def test_start_already_known_not_duplicated(self):
+        times = [1.0, 3.0, 7.0]
+        tl = DiskTimeline.from_sorted(times, start=3.0, end=100.0)
+        assert tl._times.to_list() == [1.0, 3.0, 7.0]
+
+    def test_before_start_build_matches_incremental(self):
+        # The merge branch produces the same state as one-by-one
+        # inserts across chunk boundaries (load-sized sequences).
+        times = [float(t) for t in range(2000)]
+        start = 1234.5
+        tl = DiskTimeline.from_sorted(times, start=start, end=1e9)
+        ref = self._incremental(times, start=start, end=1e9)
+        assert tl._times.to_list() == ref._times.to_list()
+        assert tl._known == ref._known
+        assert len(tl) == 2001  # 2000 times + the merged start
+
+    def test_empty_times_still_seeds_start(self):
+        tl = DiskTimeline.from_sorted([], start=5.0, end=10.0)
+        assert tl._times.to_list() == [5.0]
+        assert 5.0 in tl

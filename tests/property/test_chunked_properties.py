@@ -1,0 +1,198 @@
+"""ChunkedSortedList vs a flat ``list`` + ``bisect`` reference model.
+
+The container's docstring promises exact ``bisect`` semantics, so a
+plain sorted ``list`` is a drop-in oracle. Each test drives both
+structures through the same seeded randomized op sequence — inserts
+(duplicate-keeping and unique), removals, membership, positional
+access, bisect indices, neighbor lookups, and ``irange`` window slices
+with every ``inclusive`` combination — and demands equality after
+every step, plus the chunk-level structural invariants. Tiny loads
+(2–5) force chunk splits and emptied-chunk removal constantly; a value
+domain with heavy collisions exercises duplicate handling; values
+below every earlier insert mirror the before-start inserts the OPG
+timelines perform. A wider sweep with longer sequences sits behind
+``-m slow``.
+"""
+
+import random
+from bisect import bisect_left, bisect_right, insort
+
+import pytest
+
+from repro.core.chunked import ChunkedSortedList
+
+FAST_SEEDS = range(15)
+SLOW_SEEDS = range(15, 75)
+
+INCLUSIVE = ((True, False), (True, True), (False, True), (False, False))
+
+
+class ReferenceModel:
+    """A flat sorted list implementing the same query contract."""
+
+    def __init__(self, items=()):
+        self.items = sorted(items)
+
+    def add(self, value):
+        insort(self.items, value)
+
+    def insert_unique(self, value):
+        items = self.items
+        i = bisect_left(items, value)
+        if i < len(items) and items[i] == value:
+            return None
+        prev = items[i - 1] if i > 0 else None
+        nxt = items[i] if i < len(items) else None
+        items.insert(i, value)
+        return (prev, nxt)
+
+    def discard(self, value):
+        i = bisect_left(self.items, value)
+        if i < len(self.items) and self.items[i] == value:
+            del self.items[i]
+            return True
+        return False
+
+    def neighbors(self, value):
+        items = self.items
+        i = bisect_left(items, value)
+        prev = items[i - 1] if i > 0 else None
+        if i < len(items) and items[i] == value:
+            nxt = items[i + 1] if i + 1 < len(items) else None
+            return (prev, nxt, True)
+        nxt = items[i] if i < len(items) else None
+        return (prev, nxt, False)
+
+    def irange(self, lo, hi, inclusive):
+        items = self.items
+        if lo is None:
+            start = 0
+        elif inclusive[0]:
+            start = bisect_left(items, lo)
+        else:
+            start = bisect_right(items, lo)
+        if hi is None:
+            stop = len(items)
+        elif inclusive[1]:
+            stop = bisect_right(items, hi)
+        else:
+            stop = bisect_left(items, hi)
+        return items[start:max(start, stop)]
+
+
+def _check_invariants(c: ChunkedSortedList) -> None:
+    assert len(c._chunks) == len(c._maxes)
+    total = 0
+    for chunk, mx in zip(c._chunks, c._maxes):
+        assert chunk, "empty chunk left in place"
+        assert len(chunk) <= c._cap
+        assert mx == chunk[-1]
+        total += len(chunk)
+    assert total == len(c)
+
+
+def _check_queries(c: ChunkedSortedList, ref: ReferenceModel, rng):
+    items = ref.items
+    assert c.to_list() == items
+    assert list(c) == items
+    probes = [rng.choice(items) for _ in range(3)] if items else []
+    probes += [_draw_value(rng) for _ in range(3)]
+    for v in probes:
+        assert (v in c) == (v in items)
+        assert c.index_left(v) == bisect_left(items, v)
+        assert c.index_right(v) == bisect_right(items, v)
+        assert c.neighbors(v) == ref.neighbors(v)
+    if items:
+        i = rng.randrange(len(items))
+        assert c[i] == items[i]
+        assert c[-1 - i] == items[-1 - i]
+    lo = rng.choice([None] + probes) if probes else None
+    hi = rng.choice([None] + probes) if probes else None
+    inclusive = rng.choice(INCLUSIVE)
+    if lo is not None and hi is not None and lo > hi:
+        lo, hi = hi, lo
+    assert list(c.irange(lo, hi, inclusive)) == ref.irange(lo, hi, inclusive)
+
+
+def _draw_value(rng: random.Random) -> float:
+    # A small collision-heavy grid; negatives appear so later inserts
+    # regularly land before everything seen so far.
+    return rng.randrange(-40, 200) / 4.0
+
+
+def _run_ops(seed: int, n_ops: int) -> None:
+    rng = random.Random(seed)
+    load = rng.choice((2, 3, 5))
+    if rng.random() < 0.5:
+        # Start from a bulk load (duplicates included) rather than empty.
+        initial = sorted(_draw_value(rng) for _ in range(rng.randrange(40)))
+        c = ChunkedSortedList.from_sorted(initial, load=load)
+        ref = ReferenceModel(initial)
+    else:
+        c = ChunkedSortedList(load=load)
+        ref = ReferenceModel()
+    _check_invariants(c)
+    assert c.to_list() == ref.items
+    for step in range(n_ops):
+        op = rng.random()
+        v = _draw_value(rng)
+        if op < 0.45:
+            c.add(v)
+            ref.add(v)
+        elif op < 0.65:
+            assert c.insert_unique(v) == ref.insert_unique(v)
+        else:
+            # Bias removals toward present values so chunks drain.
+            if ref.items and rng.random() < 0.7:
+                v = rng.choice(ref.items)
+            assert c.discard(v) == ref.discard(v)
+        _check_invariants(c)
+        if step % 7 == 0:
+            _check_queries(c, ref, rng)
+    _check_queries(c, ref, rng)
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_matches_reference_model(seed):
+    _run_ops(seed, n_ops=250)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_matches_reference_model_slow(seed):
+    _run_ops(seed, n_ops=1500)
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_tuple_values_match_reference_model(seed):
+    # The OPG reservation lists store (time, block) pairs — same
+    # container, lexicographic order, irange-driven walks.
+    rng = random.Random(10_000 + seed)
+    c = ChunkedSortedList(load=rng.choice((2, 3)))
+    ref = ReferenceModel()
+    for _ in range(200):
+        pair = (rng.randrange(50) / 2.0, rng.randrange(8))
+        if rng.random() < 0.75:
+            assert c.insert_unique(pair) == ref.insert_unique(pair)
+        elif ref.items:
+            victim = rng.choice(ref.items)
+            assert c.discard(victim) == ref.discard(victim)
+        _check_invariants(c)
+    assert c.to_list() == ref.items
+    for t in range(0, 26):
+        lo = (float(t), -1)
+        assert list(c.irange(lo, None, (True, True))) == ref.irange(
+            lo, None, (True, True)
+        )
+
+
+@pytest.mark.parametrize("load", (2, 3, 7, 1024))
+def test_bulk_load_equals_incremental(load):
+    rng = random.Random(load)
+    values = sorted(_draw_value(rng) for _ in range(500))
+    bulk = ChunkedSortedList.from_sorted(values, load=load)
+    incremental = ChunkedSortedList(load=load)
+    for v in values:
+        incremental.add(v)
+    _check_invariants(bulk)
+    assert bulk.to_list() == incremental.to_list() == values
