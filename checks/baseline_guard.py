@@ -1,0 +1,180 @@
+"""Guard: ``checks/baseline.json`` may only grow with explicit sign-off.
+
+The baseline file is the list of *accepted* ``repro check`` findings.
+Shrinking it (fixing accepted debt) is always welcome; growing it means
+new findings were waved through, and that deserves a visible decision,
+not a drive-by ``--update-baseline``. CI runs this guard on pull
+requests: if the baseline gained entries (new keys, or higher counts
+for existing keys) relative to the base ref, some commit in the range
+must carry a ``BASELINE: <reason>`` trailer, otherwise the job fails.
+
+Usage::
+
+    python checks/baseline_guard.py --base origin/main \
+        [--baseline checks/baseline.json] [--message-file MSG]
+
+Exit codes: ``0`` ok (unchanged, shrunk, or growth signed off),
+``1`` baseline grew without a ``BASELINE:`` trailer, ``2`` usage or
+git/JSON errors.
+
+The module is import-friendly (no side effects at import time) so the
+test suite exercises the pieces directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = "checks/baseline.json"
+TRAILER = "BASELINE:"
+
+#: Baseline entry identity, mirroring repro.check.baseline.BaselineKey.
+Key = tuple[str, str, str]
+
+
+def load_entries(text: str) -> dict[Key, int]:
+    """Parse baseline JSON text into ``{(rule, path, message): count}``."""
+    data = json.loads(text)
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError("not a baseline file: no 'entries' key")
+    counts: dict[Key, int] = {}
+    for entry in data["entries"]:
+        key = (entry["rule"], entry["path"], entry["message"])
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def _git(args: list[str], repo: Path | None) -> str:
+    result = subprocess.run(
+        ["git", *args],
+        cwd=repo,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return result.stdout
+
+
+def baseline_at_ref(
+    ref: str, baseline: str, repo: Path | None = None
+) -> str | None:
+    """The baseline file's content at ``ref`` (None if absent there)."""
+    try:
+        return _git(["show", f"{ref}:{baseline}"], repo)
+    except subprocess.CalledProcessError:
+        return None  # no baseline at the base ref -> treat as empty
+
+
+def grown_entries(
+    old: dict[Key, int], new: dict[Key, int]
+) -> list[tuple[Key, int, int]]:
+    """Entries that appeared or whose count increased, sorted."""
+    grown = [
+        (key, old.get(key, 0), count)
+        for key, count in new.items()
+        if count > old.get(key, 0)
+    ]
+    return sorted(grown)
+
+
+def has_trailer(message: str) -> bool:
+    """Whether any line of ``message`` is a ``BASELINE: <reason>`` trailer."""
+    for line in message.splitlines():
+        stripped = line.strip()
+        if stripped.startswith(TRAILER) and stripped[len(TRAILER):].strip():
+            return True
+    return False
+
+
+def messages_since(base: str, repo: Path | None = None) -> str:
+    """Combined commit messages of ``base..HEAD``."""
+    return _git(["log", "--format=%B", f"{base}..HEAD"], repo)
+
+
+def run_guard(
+    base: str,
+    baseline: str = DEFAULT_BASELINE,
+    repo: Path | None = None,
+    message: str | None = None,
+) -> int:
+    """The guard itself; ``message`` overrides the git-log scan."""
+    root = repo if repo is not None else Path.cwd()
+    current_path = root / baseline
+    current = (
+        load_entries(current_path.read_text())
+        if current_path.exists()
+        else {}
+    )
+    at_base = baseline_at_ref(base, baseline, repo)
+    previous = load_entries(at_base) if at_base is not None else {}
+
+    grown = grown_entries(previous, current)
+    if not grown:
+        print(
+            f"baseline guard: ok ({len(current)} entries, "
+            f"none added vs {base})"
+        )
+        return 0
+
+    if message is None:
+        message = messages_since(base, repo)
+    if has_trailer(message):
+        print(
+            f"baseline guard: {len(grown)} new entrie(s) accepted via "
+            f"{TRAILER} trailer"
+        )
+        return 0
+
+    print(
+        f"baseline guard: {baseline} grew by {len(grown)} entrie(s) "
+        f"vs {base} without a '{TRAILER} <reason>' commit trailer:",
+        file=sys.stderr,
+    )
+    for (rule, path, msg), old_count, new_count in grown:
+        print(
+            f"  +{new_count - old_count} [{rule}] {path}: {msg}",
+            file=sys.stderr,
+        )
+    print(
+        "either fix the findings instead of baselining them, or add a "
+        f"'{TRAILER} <why this debt is accepted>' trailer to a commit "
+        "in this range.",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--base", required=True,
+        help="git ref to compare the baseline against (e.g. origin/main)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"repo-relative baseline path (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--message-file", default=None, metavar="PATH",
+        help="read the sign-off message from PATH instead of "
+        "`git log BASE..HEAD`",
+    )
+    args = parser.parse_args(argv)
+    message = (
+        Path(args.message_file).read_text()
+        if args.message_file is not None
+        else None
+    )
+    try:
+        return run_guard(args.base, baseline=args.baseline, message=message)
+    except (OSError, ValueError, subprocess.CalledProcessError) as exc:
+        print(f"baseline guard: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -605,17 +605,22 @@ def _run_parallel(
                         f"point exceeded {retry.timeout_s}s and was killed",
                     )
     finally:
-        for worker in pool:
-            if worker.id in inflight:
-                worker.kill()
-            else:
-                worker.stop()
-        if shm is not None:
-            shm.close()
-            try:
-                shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+        # unlink the segment even if reaping a worker raises: the
+        # mapping dies with the workers, but the *name* outlives the
+        # process unless unlink runs
+        try:
+            for worker in pool:
+                if worker.id in inflight:
+                    worker.kill()
+                else:
+                    worker.stop()
+        finally:
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
 
     if fallback is not None:
         message = (

@@ -8,13 +8,21 @@ This package checks those invariants *statically*, over the AST, so a
 violation fails ``repro check`` (and the ``static-analysis`` CI job)
 before a simulation ever runs.
 
-Five domain checkers ship by default (see :data:`repro.check.base.CHECKERS`):
+Eight domain checkers ship by default (see :data:`repro.check.base.CHECKERS`):
 
 * ``determinism`` — unseeded ``random``/``np.random`` use, wall-clock
   reads outside journaling code, iteration over unordered sets.
 * ``units`` — raw literal conversion factors (``* 1000``, ``/ 1e3``)
-  on unit-suffixed values that bypass :mod:`repro.units`, and
-  mixed-dimension ``+``/``-`` between differently suffixed names.
+  on unit-suffixed values that bypass :mod:`repro.units`.
+* ``unitsflow`` — flow-sensitive unit inference over the CFG and the
+  project call graph: mixed-unit assignment, return drift, argument
+  drift, mixed-dimension ``+``/``-`` (see :mod:`repro.check.flow`).
+* ``asyncsafe`` — blocking calls reachable from ``async def`` bodies
+  (directly or through any resolved sync call chain) and ``await``
+  while holding a synchronous lock.
+* ``resource`` — CFG reachability proving acquired resources (shm
+  segments, tmp files, armed crash points, saved-attribute swaps)
+  release/restore on all paths, exception edges included.
 * ``fastpath`` — every concrete ``ReplacementPolicy`` / ``WritePolicy``
   / ``DiskPowerManager`` subclass must appear in the
   ``FAST_PATH_AUDITED`` gate registry in :mod:`repro.sim.engine`.
@@ -39,11 +47,14 @@ from repro.check.runner import Report, run_check
 
 # Importing the checker modules registers them with CHECKERS.
 from repro.check import (  # noqa: E402,F401  (registration side effect)
+    asyncsafe,
     determinism,
     events,
     fastpath,
+    resource,
     slots,
     units,
+    unitsflow,
 )
 
 __all__ = [

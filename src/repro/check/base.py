@@ -32,6 +32,10 @@ class Checker:
 
     rule: str = ""
     description: str = ""
+    #: Fix-it guidance and an example finding, surfaced by
+    #: ``repro check --explain RULE``.
+    guidance: str = ""
+    example: str = ""
 
     def check(
         self, module: ModuleInfo, project: Project

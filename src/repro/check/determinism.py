@@ -94,6 +94,16 @@ class DeterminismChecker(Checker):
         "unseeded RNG, wall-clock reads outside journaling, and "
         "iteration over unordered sets"
     )
+    guidance = (
+        "Seed every RNG explicitly (random.Random(seed), "
+        "numpy.random.default_rng(seed)), take timestamps from the "
+        "simulated clock rather than time.time(), and iterate sets "
+        "through sorted() so replays order identically."
+    )
+    example = (
+        "engine.py:42:11: error[determinism] random.random() draws "
+        "from the unseeded global RNG"
+    )
 
     def check(
         self, module: ModuleInfo, project: Project

@@ -59,6 +59,15 @@ class EventCoverageChecker(Checker):
         "probe() emissions must construct declared Event classes, and "
         "every Event class needs an emission site"
     )
+    guidance = (
+        "Emit only subclasses of Event through probe()/bus(); if an "
+        "Event class is never constructed anywhere, wire up its "
+        "emission site or delete the dead declaration."
+    )
+    example = (
+        "engine.py:310:9: error[events] probe() called with "
+        "NotAnEvent(...), which is not an Event subclass"
+    )
 
     def check(
         self, module: ModuleInfo, project: Project

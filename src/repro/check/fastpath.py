@@ -138,6 +138,15 @@ class FastPathChecker(Checker):
         "concrete policy/DPM subclasses missing from the "
         "FAST_PATH_AUDITED registry in sim/engine.py"
     )
+    guidance = (
+        "Audit the new subclass (or @batch_kernel function) against "
+        "the fused fast path, then add its name to FAST_PATH_AUDITED "
+        "in sim/engine.py; remove names that no longer exist."
+    )
+    example = (
+        "policies.py:88:1: error[fastpath] RogueImpl subclasses "
+        "EvictionPolicy but is not listed in FAST_PATH_AUDITED"
+    )
 
     def check(
         self, module: ModuleInfo, project: Project

@@ -1,0 +1,44 @@
+"""Flow-sensitive analysis substrate for reprolint.
+
+Three layers, each usable alone:
+
+* :mod:`repro.check.flow.cfg` — intraprocedural control-flow graphs
+  with exception edges, finally duplication, and boolean short-circuit.
+* :mod:`repro.check.flow.dataflow` — a generic forward/backward
+  worklist solver over those CFGs.
+* :mod:`repro.check.flow.callgraph` — a conservative, name-resolved
+  project call graph (executor dispatch labelled, ambiguity dropped).
+
+The ``unitsflow``, ``asyncsafe``, and ``resource`` rule packs are
+built on these.
+"""
+
+from repro.check.flow.callgraph import (
+    CallEdge,
+    CallGraph,
+    FunctionInfo,
+    get_call_graph,
+    own_nodes,
+    own_statements,
+)
+from repro.check.flow.cfg import CFG, EXC, FALSE, NEXT, TRUE, Block, build_cfg
+from repro.check.flow.dataflow import Analysis, join_envs, solve
+
+__all__ = [
+    "Analysis",
+    "Block",
+    "CFG",
+    "CallEdge",
+    "CallGraph",
+    "EXC",
+    "FALSE",
+    "FunctionInfo",
+    "NEXT",
+    "TRUE",
+    "build_cfg",
+    "get_call_graph",
+    "join_envs",
+    "own_nodes",
+    "own_statements",
+    "solve",
+]

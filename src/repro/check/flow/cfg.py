@@ -1,0 +1,429 @@
+"""Intraprocedural control-flow graphs over the raw AST.
+
+One :class:`CFG` per function (or module body). Blocks hold at most one
+AST node — a statement, a decomposed condition operand, a loop header,
+a ``with`` header, or an ``except`` handler clause — so dataflow
+transfer functions stay per-node and path splits land exactly where
+the language splits them:
+
+* ``if``/``while`` conditions are decomposed through boolean
+  short-circuit: ``if a and b:`` evaluates ``a`` in its own block whose
+  false edge skips ``b`` entirely, exactly like the interpreter.
+* ``try``/``except``/``else``/``finally`` is modelled conservatively:
+  every statement that can raise gets an ``exc`` edge to the innermost
+  handler dispatch (or to the function's exceptional exit), and
+  ``finally`` bodies are *copied* per exit kind — once for the normal
+  fall-through, once for the exceptional unwind, once per
+  ``return``/``break``/``continue`` that crosses them — so an analysis
+  walking any path sees the finally run on it, without needing
+  continuation bookkeeping.
+* ``return`` edges run through every enclosing ``finally`` to the
+  normal exit; an un-handled raise runs through them to
+  :attr:`CFG.exc_exit`. The two exits are distinct so resource
+  analyses can tell "leaks on the happy path" from "leaks only when
+  something throws".
+
+Nested ``def``/``class`` bodies are *not* inlined — a nested function
+is a value, not control flow; the call graph (:mod:`.callgraph`) owns
+cross-function reasoning.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+#: Edge kinds. ``next`` is ordinary fall-through, ``true``/``false``
+#: leave decomposed condition blocks, ``exc`` models a raise (including
+#: the re-raise continuation after an exceptional ``finally`` copy).
+NEXT = "next"
+TRUE = "true"
+FALSE = "false"
+EXC = "exc"
+
+
+class Block:
+    """One CFG node: at most one AST node plus outgoing edges."""
+
+    __slots__ = ("id", "label", "stmts", "succs")
+
+    def __init__(self, bid: int, label: str = "") -> None:
+        self.id = bid
+        self.label = label
+        self.stmts: list[ast.AST] = []
+        self.succs: list[tuple["Block", str]] = []
+
+    def edge(self, other: "Block", kind: str = NEXT) -> None:
+        if (other, kind) not in self.succs:
+            self.succs.append((other, kind))
+
+    @property
+    def node(self) -> ast.AST | None:
+        return self.stmts[0] if self.stmts else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        what = type(self.node).__name__ if self.stmts else self.label
+        return f"<Block {self.id} {what}>"
+
+
+class CFG:
+    """The control-flow graph of one function or module body."""
+
+    def __init__(self, name: str, node: ast.AST) -> None:
+        self.name = name
+        self.node = node
+        self.blocks: list[Block] = []
+        self.entry = self.new_block("entry")
+        self.exit = self.new_block("exit")
+        self.exc_exit = self.new_block("exc-exit")
+
+    def new_block(self, label: str = "") -> Block:
+        block = Block(len(self.blocks), label)
+        self.blocks.append(block)
+        return block
+
+    def preds(self) -> dict[int, list[Block]]:
+        """Block id -> predecessor blocks."""
+        preds: dict[int, list[Block]] = {b.id: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ, _kind in block.succs:
+                preds[succ.id].append(block)
+        return preds
+
+    def iter_nodes(self) -> Iterator[tuple[Block, ast.AST]]:
+        """Every (block, AST node) pair, in block id order."""
+        for block in self.blocks:
+            for node in block.stmts:
+                yield block, node
+
+
+class _Frame:
+    """One entry of the builder's syntactic context stack."""
+
+    __slots__ = ("kind", "dispatch", "finalbody", "exc_entry",
+                 "break_target", "continue_target")
+
+    def __init__(self, kind: str, **kw) -> None:
+        self.kind = kind  # "handler" | "finally" | "loop"
+        self.dispatch: Block | None = kw.get("dispatch")
+        self.finalbody: list[ast.stmt] = kw.get("finalbody", [])
+        #: Memoized entry of this finally's *exceptional* copy.
+        self.exc_entry: Block | None = None
+        self.break_target: Block | None = kw.get("break_target")
+        self.continue_target: Block | None = kw.get("continue_target")
+
+
+#: Statements that cannot raise — everything else conservatively gets
+#: an ``exc`` edge (attribute access, arithmetic, calls, iteration ...
+#: almost any evaluation can throw in Python).
+_NO_RAISE = (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)
+
+
+def _catch_all(handler: ast.ExceptHandler) -> bool:
+    """A clause no exception can slip past (bare ``except:`` or
+    ``except BaseException:``) — the dispatch block then has no
+    unmatched-unwind edge, so ``except BaseException: cleanup; raise``
+    cleanup idioms are seen on every exceptional path."""
+    if handler.type is None:
+        return True
+    return (
+        isinstance(handler.type, ast.Name)
+        and handler.type.id == "BaseException"
+    )
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+
+    # -- statement sequences ----------------------------------------------
+
+    def body(
+        self, stmts: list[ast.stmt], frames: tuple[_Frame, ...]
+    ) -> tuple[Block | None, list[Block]]:
+        """Build a statement list; returns (entry, open fall-through ends)."""
+        entry: Block | None = None
+        open_ends: list[Block] = []
+        for stmt in stmts:
+            s_entry, s_exits = self.stmt(stmt, frames)
+            if entry is None:
+                entry = s_entry
+            for block in open_ends:
+                block.edge(s_entry)
+            open_ends = s_exits
+            if not s_exits and stmt is not stmts[-1]:
+                # unreachable code after return/raise/break still gets
+                # blocks (checkers may want them) but no inbound edges
+                open_ends = []
+        return entry, open_ends
+
+    def stmt(
+        self, stmt: ast.stmt, frames: tuple[_Frame, ...]
+    ) -> tuple[Block, list[Block]]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frames)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, frames)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frames)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frames)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frames)
+        if isinstance(stmt, ast.Return):
+            block = self._leaf(stmt, frames)
+            self._unwind(block, frames, None, self.cfg.exit)
+            return block, []
+        if isinstance(stmt, ast.Raise):
+            block = self.cfg.new_block()
+            block.stmts.append(stmt)
+            self._raise_edge(block, frames)
+            return block, []
+        if isinstance(stmt, ast.Break):
+            block = self._leaf(stmt, frames)
+            self._unwind(block, frames, "break", None)
+            return block, []
+        if isinstance(stmt, ast.Continue):
+            block = self._leaf(stmt, frames)
+            self._unwind(block, frames, "continue", None)
+            return block, []
+        # Simple statement (nested def/class bodies are opaque values).
+        block = self._leaf(stmt, frames)
+        return block, [block]
+
+    def _leaf(self, stmt: ast.stmt, frames: tuple[_Frame, ...]) -> Block:
+        block = self.cfg.new_block()
+        block.stmts.append(stmt)
+        if not isinstance(stmt, _NO_RAISE):
+            self._raise_edge(block, frames)
+        return block
+
+    # -- conditions (boolean short-circuit) -------------------------------
+
+    def cond(
+        self,
+        test: ast.expr,
+        frames: tuple[_Frame, ...],
+        true_target: Block,
+        false_target: Block,
+    ) -> Block:
+        """Build a decomposed condition; returns its entry block."""
+        if isinstance(test, ast.BoolOp):
+            if isinstance(test.op, ast.And):
+                entry = true_target
+                for value in reversed(test.values):
+                    entry = self.cond(value, frames, entry, false_target)
+                return entry
+            entry = false_target  # Or
+            for value in reversed(test.values):
+                entry = self.cond(value, frames, true_target, entry)
+            return entry
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self.cond(test.operand, frames, false_target, true_target)
+        block = self.cfg.new_block("cond")
+        block.stmts.append(test)
+        block.edge(true_target, TRUE)
+        block.edge(false_target, FALSE)
+        self._raise_edge(block, frames)
+        return block
+
+    # -- compound statements ----------------------------------------------
+
+    def _if(self, stmt, frames):
+        after = self.cfg.new_block("endif")
+        then_stub = self.cfg.new_block("then")
+        else_stub = self.cfg.new_block("else")
+        entry = self.cond(stmt.test, frames, then_stub, else_stub)
+        t_entry, t_exits = self.body(stmt.body, frames)
+        then_stub.edge(t_entry if t_entry is not None else after)
+        for block in t_exits:
+            block.edge(after)
+        if stmt.orelse:
+            e_entry, e_exits = self.body(stmt.orelse, frames)
+            else_stub.edge(e_entry if e_entry is not None else after)
+            for block in e_exits:
+                block.edge(after)
+        else:
+            else_stub.edge(after)
+        return entry, [after]
+
+    def _while(self, stmt, frames):
+        after = self.cfg.new_block("endwhile")
+        header = self.cfg.new_block("while")
+        body_stub = self.cfg.new_block("loop-body")
+        if stmt.orelse:
+            o_entry, o_exits = self.body(stmt.orelse, frames)
+            exhausted = o_entry if o_entry is not None else after
+            for block in o_exits:
+                block.edge(after)
+        else:
+            exhausted = after
+        cond_entry = self.cond(stmt.test, frames, body_stub, exhausted)
+        header.edge(cond_entry)
+        loop_frames = frames + (
+            _Frame("loop", break_target=after, continue_target=header),
+        )
+        b_entry, b_exits = self.body(stmt.body, loop_frames)
+        body_stub.edge(b_entry if b_entry is not None else header)
+        for block in b_exits:
+            block.edge(header)
+        return header, [after]
+
+    def _for(self, stmt, frames):
+        after = self.cfg.new_block("endfor")
+        header = self.cfg.new_block("for")
+        header.stmts.append(stmt)  # the For node: target + iter
+        self._raise_edge(header, frames)
+        if stmt.orelse:
+            o_entry, o_exits = self.body(stmt.orelse, frames)
+            header.edge(o_entry if o_entry is not None else after, FALSE)
+            for block in o_exits:
+                block.edge(after)
+        else:
+            header.edge(after, FALSE)
+        loop_frames = frames + (
+            _Frame("loop", break_target=after, continue_target=header),
+        )
+        b_entry, b_exits = self.body(stmt.body, loop_frames)
+        header.edge(b_entry if b_entry is not None else header, TRUE)
+        for block in b_exits:
+            block.edge(header)
+        return header, [after]
+
+    def _with(self, stmt, frames):
+        header = self.cfg.new_block("with")
+        header.stmts.append(stmt)  # the With node: items
+        self._raise_edge(header, frames)
+        b_entry, b_exits = self.body(stmt.body, frames)
+        if b_entry is not None:
+            header.edge(b_entry)
+            return header, b_exits
+        return header, [header]
+
+    def _try(self, stmt, frames):
+        after = self.cfg.new_block("endtry")
+        fin_frame = (
+            _Frame("finally", finalbody=stmt.finalbody)
+            if stmt.finalbody
+            else None
+        )
+        outer = frames + ((fin_frame,) if fin_frame is not None else ())
+
+        dispatch: Block | None = None
+        if stmt.handlers:
+            dispatch = self.cfg.new_block("except-dispatch")
+            body_frames = outer + (_Frame("handler", dispatch=dispatch),)
+        else:
+            body_frames = outer
+
+        b_entry, b_exits = self.body(stmt.body, body_frames)
+        normal_exits = list(b_exits)
+        if stmt.orelse:
+            # else runs only on clean body completion; its exceptions
+            # are NOT caught by this try's handlers
+            o_entry, o_exits = self.body(stmt.orelse, outer)
+            if o_entry is not None:
+                for block in b_exits:
+                    block.edge(o_entry)
+                normal_exits = list(o_exits)
+
+        handler_exits: list[Block] = []
+        if dispatch is not None:
+            for handler in stmt.handlers:
+                h_block = self.cfg.new_block("except")
+                h_block.stmts.append(handler)  # clause: type + name bind
+                dispatch.edge(h_block)
+                h_entry, h_exits = self.body(handler.body, outer)
+                h_block.edge(h_entry if h_entry is not None else after)
+                handler_exits.extend(h_exits)
+            if not any(_catch_all(h) for h in stmt.handlers):
+                # no handler clause matched: keep unwinding
+                self._raise_edge(dispatch, outer)
+
+        all_normal = normal_exits + handler_exits
+        if fin_frame is not None:
+            f_entry, f_exits = self.body(stmt.finalbody, frames)
+            for block in all_normal:
+                block.edge(f_entry if f_entry is not None else after)
+            for block in f_exits:
+                block.edge(after)
+        else:
+            for block in all_normal:
+                block.edge(after)
+
+        entry = b_entry if b_entry is not None else after
+        return entry, [after]
+
+    # -- unwinding (raise / return / break / continue) --------------------
+
+    def _raise_edge(self, block: Block, frames: tuple[_Frame, ...]) -> None:
+        block.edge(self._raise_target(frames), EXC)
+
+    def _raise_target(self, frames: tuple[_Frame, ...]) -> Block:
+        for i in range(len(frames) - 1, -1, -1):
+            frame = frames[i]
+            if frame.kind == "handler":
+                return frame.dispatch
+            if frame.kind == "finally":
+                if frame.exc_entry is None:
+                    outer = frames[:i]
+                    entry, exits = self.body(frame.finalbody, outer)
+                    onward = self._raise_target(outer)
+                    for block in exits:
+                        block.edge(onward, EXC)
+                    frame.exc_entry = entry if entry is not None else onward
+                return frame.exc_entry
+        return self.cfg.exc_exit
+
+    def _unwind(
+        self,
+        block: Block,
+        frames: tuple[_Frame, ...],
+        loop_kind: str | None,
+        final_target: Block | None,
+    ) -> None:
+        """Route return/break/continue through enclosing finallies.
+
+        ``loop_kind`` of ``"break"``/``"continue"`` stops at the
+        innermost loop frame; ``None`` (return) crosses every frame and
+        lands on ``final_target``.
+        """
+        sources = [block]
+
+        def connect(target: Block) -> None:
+            for src in sources:
+                src.edge(target)
+
+        for i in range(len(frames) - 1, -1, -1):
+            frame = frames[i]
+            if loop_kind is not None and frame.kind == "loop":
+                connect(
+                    frame.break_target
+                    if loop_kind == "break"
+                    else frame.continue_target
+                )
+                return
+            if frame.kind == "finally":
+                entry, exits = self.body(frame.finalbody, frames[:i])
+                if entry is not None:
+                    connect(entry)
+                    sources = exits
+        if final_target is not None:
+            connect(final_target)
+
+
+def build_cfg(node: ast.AST, name: str | None = None) -> CFG:
+    """Build the CFG of a function, module, or statement list owner.
+
+    ``node`` is a ``FunctionDef``/``AsyncFunctionDef``, ``Module``, or
+    anything with a ``body`` list of statements.
+    """
+    if name is None:
+        name = getattr(node, "name", type(node).__name__)
+    cfg = CFG(name, node)
+    builder = _Builder(cfg)
+    entry, exits = builder.body(list(node.body), ())
+    cfg.entry.edge(entry if entry is not None else cfg.exit)
+    for block in exits:
+        block.edge(cfg.exit)
+    return cfg

@@ -11,8 +11,10 @@ by the CLI).
 
 from __future__ import annotations
 
+import inspect
 import json
 import sys
+import textwrap
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -153,6 +155,11 @@ def add_arguments(parser) -> None:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print what RULE checks, how to act on a finding, and an "
+        "example, then exit",
+    )
 
 
 def _resolve_baseline_path(args) -> Path | None:
@@ -163,10 +170,36 @@ def _resolve_baseline_path(args) -> Path | None:
     return DEFAULT_BASELINE if DEFAULT_BASELINE.exists() else None
 
 
+def explain(rule: str) -> str:
+    """Human-oriented description of one rule (backs ``--explain``)."""
+    cls = CHECKERS.get(rule)
+    if cls is None:
+        raise ReproError(
+            f"unknown rule {rule!r}; "
+            f"available: {', '.join(sorted(CHECKERS))}"
+        )
+    lines = [f"{rule} — {cls.description}"]
+    doc = inspect.getdoc(cls) or inspect.getdoc(
+        sys.modules[cls.__module__]
+    )
+    if doc:
+        lines += ["", doc.strip()]
+    guidance = getattr(cls, "guidance", "")
+    if guidance:
+        lines += ["", "How to fix:", *textwrap.wrap(guidance, width=72)]
+    example = getattr(cls, "example", "")
+    if example:
+        lines += ["", "Example finding:", f"  {example}"]
+    return "\n".join(lines)
+
+
 def main(args) -> int:
     if args.list_rules:
         for rule in sorted(CHECKERS):
             print(f"{rule:12s} {CHECKERS[rule].description}")
+        return 0
+    if args.explain is not None:
+        print(explain(args.explain))
         return 0
 
     baseline_path = _resolve_baseline_path(args)
@@ -177,9 +210,21 @@ def main(args) -> int:
             if args.baseline is not None
             else DEFAULT_BASELINE
         )
-        Baseline.from_findings(report.findings).save(path)
+        updated = Baseline.from_findings(report.findings)
+        if args.select and path.exists():
+            # A selected-rules run only saw those rules' findings;
+            # blindly rewriting would silently drop every other rule's
+            # accepted entries. Carry the unselected entries over.
+            selected = set(args.select)
+            previous = Baseline.load(path)
+            for key, count in previous.counts.items():
+                if key[0] not in selected:
+                    updated.counts[key] = count
+        updated.save(path)
+        kept = len(updated) - len(report.findings)
+        note = f" (kept {kept} entries of unselected rules)" if kept else ""
         print(
-            f"wrote {len(report.findings)} accepted finding(s) to {path}"
+            f"wrote {len(updated)} accepted finding(s) to {path}{note}"
         )
         return 0
 

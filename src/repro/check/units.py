@@ -1,19 +1,19 @@
-"""Units checker.
+"""Units checker (syntactic half).
 
 The library keeps all quantities in fixed base units (seconds, joules,
 watts, bytes — see :mod:`repro.units`) precisely so conversions happen
-in one greppable place. Two bug classes defeat that:
+in one greppable place. This rule catches **raw conversion literals**:
+``latency_s * 1000`` or ``energy_j / 1e3`` works today but hides the
+dimension change; when someone later "fixes" the factor the drift is
+invisible. Any multiply/divide by a magic conversion factor on a value
+whose name carries a unit hint must go through a named constant
+(``units.MS_PER_S``, ``units.KILO``, ...) instead.
 
-* **Raw conversion literals** — ``latency_s * 1000`` or
-  ``energy_j / 1e3`` works today but hides the dimension change;
-  when someone later "fixes" the factor the drift is invisible.
-  Any multiply/divide by a magic conversion factor on a value whose
-  name carries a unit hint must go through a named constant
-  (``units.MS_PER_S``, ``units.KILO``, ...) instead.
-* **Mixed-dimension arithmetic** — adding a ``*_s`` value to a ``*_j``
-  value is dimensionally meaningless. Inferred from the naming
-  convention in the :mod:`repro.units` docstring (``_s``/``_ms``/
-  ``_us`` time, ``_j``/``_kj`` energy, ``_w`` power, ``_bytes`` size).
+The flow-sensitive half of the units story — mixed-dimension ``+``/
+``-``, cross-unit assignment/return/argument drift — lives in the
+``unitsflow`` rule (:mod:`repro.check.unitsflow`), which propagates
+the suffix lattice through the CFG and call graph and superseded the
+single-binop dimension heuristic that used to live here.
 """
 
 from __future__ import annotations
@@ -38,14 +38,6 @@ _UNIT_HINT = re.compile(
     r"resp|response|energy|power|joule|watt|wall)($|_)"
     r"|_(s|ms|us|ns|j|kj|w|mw)$"
 )
-
-#: Suffix -> dimension, for the mixed-dimension rule.
-_DIMENSIONS = {
-    "_s": "time", "_ms": "time", "_us": "time", "_ns": "time",
-    "_j": "energy", "_kj": "energy",
-    "_w": "power", "_mw": "power",
-    "_bytes": "size", "_blocks": "size",
-}
 
 #: Modules that *define* the conversions are allowed raw factors.
 _UNIT_DEFINING_BASENAMES = frozenset({"units.py"})
@@ -74,26 +66,21 @@ def _unit_hinted_names(node: ast.expr) -> list[str]:
     return names
 
 
-def _dimension_of(node: ast.expr) -> str | None:
-    ident = None
-    if isinstance(node, ast.Name):
-        ident = node.id
-    elif isinstance(node, ast.Attribute):
-        ident = node.attr
-    if ident is None:
-        return None
-    for suffix, dimension in _DIMENSIONS.items():
-        if ident.endswith(suffix):
-            return dimension
-    return None
-
-
 @register
 class UnitsChecker(Checker):
     rule = "units"
     description = (
-        "raw unit-conversion literals bypassing repro.units, and "
-        "mixed-dimension +/- arithmetic"
+        "raw unit-conversion literals bypassing repro.units"
+    )
+    guidance = (
+        "Replace the literal with the matching named constant from "
+        "repro.units (MS_PER_S, US_PER_S, KILO, MINUTE, ...) so every "
+        "dimension change stays greppable; powers of two are exempt."
+    )
+    example = (
+        "engine.py:31: error[units] raw conversion factor `* 1000.0` "
+        "on unit-bearing value 'latency_s'; use a named constant from "
+        "repro.units"
     )
 
     def check(
@@ -106,12 +93,14 @@ class UnitsChecker(Checker):
                 continue
             if isinstance(node.op, (ast.Mult, ast.Div)):
                 yield from self._check_factor(module, node)
-            elif isinstance(node.op, (ast.Add, ast.Sub)):
-                yield from self._check_dimensions(module, node)
 
     def _check_factor(
         self, module: ModuleInfo, node: ast.BinOp
     ) -> Iterator[Finding]:
+        # Examine both operand orientations independently: the suspect
+        # literal can sit on either side (`x_s * 3600.0` as well as
+        # `3600.0 * x_s`), and bailing out after the first literal
+        # operand used to skip the swapped form entirely.
         for literal, other in (
             (node.left, node.right),
             (node.right, node.left),
@@ -131,19 +120,3 @@ class UnitsChecker(Checker):
                     "KILO, MINUTE, ...) so the dimension change is "
                     "greppable",
                 )
-            return  # one report per binop
-        return
-
-    def _check_dimensions(
-        self, module: ModuleInfo, node: ast.BinOp
-    ) -> Iterator[Finding]:
-        left = _dimension_of(node.left)
-        right = _dimension_of(node.right)
-        if left is not None and right is not None and left != right:
-            op = "+" if isinstance(node.op, ast.Add) else "-"
-            yield self.finding(
-                module,
-                node,
-                f"mixed dimensions: {left} `{op}` {right} (names "
-                "suggest incompatible base units; see repro.units)",
-            )

@@ -1,0 +1,501 @@
+"""Units-flow checker: dimension inference over the CFG + call graph.
+
+The ``units`` rule (PR 4) pattern-matches single binops. This pack
+*propagates* the unit naming convention (``_s``/``_ms``/``_j``/``_w``/
+``_bytes`` ...) as a dataflow lattice: a variable's unit is what was
+last assigned into it on every path, falling back to its name suffix,
+and conversions (``*``/``/``, or any UPPER_CASE constant) launder a
+value back to *unknown*. On top of the inferred units it flags:
+
+* **mixed-unit assignment** — ``timeout_s = retry_ms`` (scale drift)
+  or ``idle_s = energy_j`` (dimension drift), including augmented and
+  annotated assignment and ``for`` targets;
+* **return drift** — a function whose *name* carries a unit suffix
+  (``def mean_interarrival_s``) returning a value inferred to a
+  different unit;
+* **argument drift** — passing a ``_ms`` value into a parameter named
+  ``*_s`` at any call site the project call graph can resolve
+  unambiguously;
+* **mixed-dimension (and mixed-scale) ``+``/``-``** — the flow-aware
+  successor of the old ``units`` binop heuristic, which this rule
+  supersedes.
+
+Everything only fires when *both* sides infer to a concrete unit: a
+join of disagreeing paths, a multiplication, an UPPER_CASE conversion
+constant, or an unresolved call all collapse to unknown and stay
+silent. False negatives are the price of near-zero false positives —
+see DESIGN §11 for the catalogue of both.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.base import Checker, call_name, register
+from repro.check.finding import Finding
+from repro.check.flow.callgraph import FunctionInfo, get_call_graph
+from repro.check.flow.cfg import CFG, Block, build_cfg
+from repro.check.flow.dataflow import Analysis, join_envs, solve
+from repro.check.project import ModuleInfo, Project
+
+#: Name suffix -> unit tag, longest suffix first so ``_ms`` is not
+#: mistaken for ``_s``.
+_SUFFIXES: tuple[tuple[str, str], ...] = (
+    ("_blocks", "blocks"),
+    ("_bytes", "bytes"),
+    ("_ms", "ms"),
+    ("_us", "us"),
+    ("_ns", "ns"),
+    ("_kj", "kj"),
+    ("_mw", "mw"),
+    ("_s", "s"),
+    ("_j", "j"),
+    ("_w", "w"),
+)
+
+#: Unit tag -> physical dimension.
+_DIMENSION = {
+    "s": "time", "ms": "time", "us": "time", "ns": "time",
+    "j": "energy", "kj": "energy",
+    "w": "power", "mw": "power",
+    "bytes": "size", "blocks": "size",
+}
+
+#: Builtins whose result has the unit of their (joined) arguments.
+_UNIT_PRESERVING = frozenset({"min", "max", "abs", "sum", "sorted", "round"})
+
+#: Modules that define the conversions may move between units freely.
+_UNIT_DEFINING_BASENAMES = frozenset({"units.py"})
+
+_SCOPE_NODES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+    ast.ClassDef,
+)
+
+
+def suffix_unit(name: str | None) -> str | None:
+    """The unit a name's suffix implies (None for no suffix).
+
+    UPPER_CASE names are conversion constants (``MS_PER_S``) — their
+    suffix describes the conversion, not a carried quantity.
+    """
+    if not name or name.upper() == name:
+        return None
+    for suffix, unit in _SUFFIXES:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return unit
+    return None
+
+
+def _join_unit(a: str | None, b: str | None) -> str | None:
+    return a if a == b else None
+
+
+def _walk_exprs(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested scopes."""
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                continue
+            stack.append(child)
+
+
+def _block_exprs(node: ast.AST) -> list[ast.AST]:
+    """The expressions a CFG block's node *itself* evaluates.
+
+    Loop/with/except headers carry their whole statement node; their
+    bodies live in other blocks, so only the header expressions count.
+    """
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        return [node.target, node.iter]
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        roots: list[ast.AST] = []
+        for item in node.items:
+            roots.append(item.context_expr)
+            if item.optional_vars is not None:
+                roots.append(item.optional_vars)
+        return roots
+    if isinstance(node, ast.ExceptHandler):
+        return [node.type] if node.type is not None else []
+    if isinstance(node, _SCOPE_NODES):
+        return []
+    return [node]
+
+
+class _UnitEnv(Analysis):
+    """Forward env: variable name -> inferred unit (None = unknown)."""
+
+    direction = "forward"
+
+    def __init__(self, checker: "UnitsFlowChecker") -> None:
+        self.checker = checker
+
+    def boundary(self):
+        return {}
+
+    def init(self):
+        return {}
+
+    def join(self, a, b):
+        return join_envs(a, b, _join_unit)
+
+    def transfer(self, block: Block, env):
+        node = block.node
+        if node is None:
+            return env
+        out = None
+
+        def assign(name: str, unit: str | None) -> None:
+            nonlocal out
+            if out is None:
+                out = dict(env)
+            out[name] = unit
+
+        infer = self.checker.unit_of
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    assign(target.id, infer(node.value, env))
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    values = (
+                        node.value.elts
+                        if isinstance(node.value, (ast.Tuple, ast.List))
+                        and len(node.value.elts) == len(target.elts)
+                        else None
+                    )
+                    for i, el in enumerate(target.elts):
+                        if isinstance(el, ast.Name):
+                            assign(
+                                el.id,
+                                infer(values[i], env) if values else None,
+                            )
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                assign(node.target.id, infer(node.value, env))
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                if isinstance(node.op, (ast.Add, ast.Sub)):
+                    pass  # x += y keeps x's unit; drift is reported
+                else:
+                    assign(node.target.id, None)  # x *= k rescales
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                assign(node.target.id, self.checker.element_unit(node.iter))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    assign(item.optional_vars.id, None)
+        elif isinstance(node, ast.ExceptHandler):
+            if node.name:
+                assign(node.name, None)
+        return out if out is not None else env
+
+
+@register
+class UnitsFlowChecker(Checker):
+    """Flow-sensitive unit/dimension inference (see module docstring)."""
+
+    rule = "unitsflow"
+    description = (
+        "flow-sensitive unit drift: mixed-unit assignment/return/"
+        "argument passing and mixed-dimension +/- via the naming lattice"
+    )
+    guidance = (
+        "Convert explicitly at the boundary with the named constants in "
+        "repro.units (e.g. `timeout_s = retry_ms / MS_PER_S`), or rename "
+        "the variable so its suffix matches what it actually holds. A "
+        "`* CONSTANT` conversion resets the inferred unit to unknown, so "
+        "a correct conversion never re-triggers the rule."
+    )
+    example = (
+        "daemon.py:42: error[unitsflow] assigns `ms` value `retry_ms` "
+        "to `s`-suffixed target `timeout_s`"
+    )
+
+    def check(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterator[Finding]:
+        if module.basename in _UNIT_DEFINING_BASENAMES:
+            return
+        graph = get_call_graph(project)
+        self._graph = graph
+        self._module = module
+        # ``finally`` bodies are duplicated per exit kind in the CFG, so
+        # the same AST node can sit in several blocks: dedup by site.
+        seen: set[tuple[int, int, str]] = set()
+
+        def unique(findings: Iterator[Finding]) -> Iterator[Finding]:
+            for f in findings:
+                key = (f.line, f.col, f.message)
+                if key not in seen:
+                    seen.add(key)
+                    yield f
+
+        for info in graph.functions.values():
+            if info.module is not module:
+                continue
+            self._class_name = info.class_name
+            yield from unique(self._check_cfg(info.cfg, info))
+        # module-level statements form a pseudo-function
+        self._class_name = None
+        yield from unique(
+            self._check_cfg(build_cfg(module.tree, "<module>"), None)
+        )
+
+    # -- inference --------------------------------------------------------
+
+    def unit_of(self, expr: ast.expr, env: dict) -> str | None:
+        if isinstance(expr, ast.Name):
+            if expr.id in env:
+                return env[expr.id]
+            return suffix_unit(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return suffix_unit(expr.attr)
+        if isinstance(expr, ast.Constant):
+            return None
+        if isinstance(expr, ast.UnaryOp):
+            return self.unit_of(expr.operand, env)
+        if isinstance(expr, ast.BinOp):
+            if isinstance(expr.op, (ast.Add, ast.Sub)):
+                return _join_unit(
+                    self.unit_of(expr.left, env),
+                    self.unit_of(expr.right, env),
+                )
+            return None  # * and / change the unit by design
+        if isinstance(expr, ast.IfExp):
+            return _join_unit(
+                self.unit_of(expr.body, env),
+                self.unit_of(expr.orelse, env),
+            )
+        if isinstance(expr, ast.Call):
+            fname = call_name(expr.func)
+            if fname in _UNIT_PRESERVING and expr.args:
+                unit = self.unit_of(expr.args[0], env)
+                for arg in expr.args[1:]:
+                    unit = _join_unit(unit, self.unit_of(arg, env))
+                return unit
+            # a resolved project call returns its name's suffix unit
+            callees = self._graph.resolve_expr(
+                expr.func, self._module, self._class_name
+            )
+            if callees:
+                units = {suffix_unit(c.name) for c in callees}
+                if len(units) == 1:
+                    return units.pop()
+            return None
+        return None
+
+    def element_unit(self, iter_expr: ast.expr) -> str | None:
+        """Unit of the elements a ``for`` target receives.
+
+        Containers follow the same convention (``gaps_s`` is a
+        sequence of seconds), so the iterable's suffix is the element
+        unit; anything computed is unknown.
+        """
+        if isinstance(iter_expr, ast.Name):
+            return suffix_unit(iter_expr.id)
+        if isinstance(iter_expr, ast.Attribute):
+            return suffix_unit(iter_expr.attr)
+        return None
+
+    # -- reporting --------------------------------------------------------
+
+    def _check_cfg(
+        self, cfg: CFG, fn: FunctionInfo | None
+    ) -> Iterator[Finding]:
+        ins, _outs = solve(cfg, _UnitEnv(self))
+        for block in cfg.blocks:
+            node = block.node
+            if node is None:
+                continue
+            env = ins[block.id]
+            yield from self._check_node(node, env, fn)
+
+    def _check_node(
+        self, node: ast.AST, env: dict, fn: FunctionInfo | None
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                yield from self._check_target(target, node.value, env)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            yield from self._check_target(node.target, node.value, env)
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            target_unit = self._target_unit(node.target, env)
+            value_unit = self.unit_of(node.value, env)
+            yield from self._drift(
+                node, target_unit, value_unit,
+                kind="augmented-assigns",
+                target_desc=_describe(node.target),
+                value_desc=_describe(node.value),
+            )
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                target_unit = suffix_unit(node.target.id)
+                value_unit = self.element_unit(node.iter)
+                yield from self._drift(
+                    node, target_unit, value_unit,
+                    kind="iterates", target_desc=node.target.id,
+                    value_desc=_describe(node.iter),
+                )
+        elif isinstance(node, ast.Return) and node.value is not None and (
+            fn is not None
+        ):
+            fn_unit = suffix_unit(fn.name)
+            if fn_unit is not None:
+                value_unit = self.unit_of(node.value, env)
+                if value_unit is not None and value_unit != fn_unit:
+                    yield self.finding(
+                        self._module,
+                        node,
+                        f"`{fn.qualname}` is `{fn_unit}`-suffixed but "
+                        f"returns a `{value_unit}` value "
+                        f"`{_describe(node.value)}`; convert via "
+                        "repro.units or rename the function",
+                    )
+        for expr in _block_exprs(node):
+            for sub in _walk_exprs(expr):
+                if isinstance(sub, ast.BinOp) and isinstance(
+                    sub.op, (ast.Add, ast.Sub)
+                ):
+                    yield from self._check_mixed(sub, env)
+                elif isinstance(sub, ast.Call):
+                    yield from self._check_call(sub, env)
+
+    def _target_unit(self, target: ast.expr, env: dict) -> str | None:
+        if isinstance(target, ast.Name):
+            return suffix_unit(target.id)
+        if isinstance(target, ast.Attribute):
+            return suffix_unit(target.attr)
+        return None
+
+    def _check_target(
+        self, target: ast.expr, value: ast.expr, env: dict
+    ) -> Iterator[Finding]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (ast.Tuple, ast.List)) and len(
+                value.elts
+            ) == len(target.elts):
+                for el, v in zip(target.elts, value.elts):
+                    yield from self._check_target(el, v, env)
+            return
+        target_unit = self._target_unit(target, env)
+        value_unit = self.unit_of(value, env)
+        yield from self._drift(
+            value, target_unit, value_unit,
+            kind="assigns", target_desc=_describe(target),
+            value_desc=_describe(value),
+        )
+
+    def _drift(
+        self,
+        node: ast.AST,
+        target_unit: str | None,
+        value_unit: str | None,
+        *,
+        kind: str,
+        target_desc: str,
+        value_desc: str,
+    ) -> Iterator[Finding]:
+        if target_unit is None or value_unit is None:
+            return
+        if target_unit == value_unit:
+            return
+        yield self.finding(
+            self._module,
+            node,
+            f"{kind} `{value_unit}` value `{value_desc}` "
+            f"{'into' if kind != 'assigns' else 'to'} "
+            f"`{target_unit}`-suffixed target `{target_desc}`; convert "
+            "via repro.units or rename",
+        )
+
+    def _check_mixed(
+        self, node: ast.BinOp, env: dict
+    ) -> Iterator[Finding]:
+        left = self.unit_of(node.left, env)
+        right = self.unit_of(node.right, env)
+        if left is None or right is None or left == right:
+            return
+        op = "+" if isinstance(node.op, ast.Add) else "-"
+        if _DIMENSION[left] != _DIMENSION[right]:
+            yield self.finding(
+                self._module,
+                node,
+                f"mixed dimensions: {_DIMENSION[left]} `{op}` "
+                f"{_DIMENSION[right]} (inferred units `{left}` and "
+                f"`{right}`; see repro.units)",
+            )
+        else:
+            yield self.finding(
+                self._module,
+                node,
+                f"mixed scales: `{left}` `{op}` `{right}` without a "
+                "conversion (same dimension, different unit; see "
+                "repro.units)",
+            )
+
+    def _check_call(
+        self, call: ast.Call, env: dict
+    ) -> Iterator[Finding]:
+        callees = self._graph.resolve_expr(
+            call.func, self._module, self._class_name
+        )
+        if not callees:
+            return
+        param_lists = {tuple(c.param_names) for c in callees}
+        if len(param_lists) != 1:
+            return  # candidates disagree: don't guess
+        params = list(param_lists.pop())
+        # `ClassName.m(obj, ...)` passes self explicitly
+        offset = 0
+        if (
+            isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+            and self._graph.project.classes_named(call.func.value.id)
+            and callees[0].name != "__init__"
+        ):
+            offset = 1
+        for i, arg in enumerate(call.args[offset:]):
+            if isinstance(arg, ast.Starred) or i >= len(params):
+                break
+            yield from self._arg_drift(arg, params[i], env)
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in params:
+                yield from self._arg_drift(kw.value, kw.arg, env)
+
+    def _arg_drift(
+        self, arg: ast.expr, param: str, env: dict
+    ) -> Iterator[Finding]:
+        param_unit = suffix_unit(param)
+        if param_unit is None:
+            return
+        arg_unit = self.unit_of(arg, env)
+        if arg_unit is None or arg_unit == param_unit:
+            return
+        yield self.finding(
+            self._module,
+            arg,
+            f"passes `{arg_unit}` value `{_describe(arg)}` to "
+            f"`{param_unit}`-suffixed parameter `{param}`; convert via "
+            "repro.units at the call site",
+        )
+
+
+def _describe(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - defensive
+        return "<expr>"
+    return text if len(text) <= 40 else text[:37] + "..."

@@ -265,7 +265,11 @@ class ServeDaemon:
                     future.set_result(
                         format_ok(req_id, latency, request.time)
                     )
-            self._maybe_periodic_checkpoint()
+            # Deliberate synchronous write: the checkpoint must be
+            # consistent with the session state *at this batch border*,
+            # so the loop holds still while it lands (single-threaded
+            # lockstep design; see DESIGN on serve-mode determinism).
+            self._maybe_periodic_checkpoint()  # repro: ignore[asyncsafe]
             if self.config.feed_delay_s > 0:
                 await asyncio.sleep(self.config.feed_delay_s)
             else:
@@ -316,7 +320,9 @@ class ServeDaemon:
             if server is not None:
                 server.close()
         if self.config.checkpoint_dir and self.session.served:
-            self._take_checkpoint()
+            # Deliberate synchronous write: the daemon is draining and
+            # no client work races this final checkpoint.
+            self._take_checkpoint()  # repro: ignore[asyncsafe]
         # Deterministic horizon: the batch path's end time, independent
         # of how long the daemon idled on wall time — a restored daemon
         # fed the same requests finalizes to a bit-identical result.
@@ -461,7 +467,10 @@ class ServeDaemon:
                 return 409, {}, "no --checkpoint-dir configured\n"
             if self._draining:
                 return 503, {}, "draining\n"
-            path = self._take_checkpoint()
+            # Deliberate synchronous write: POST /checkpoint promises a
+            # checkpoint consistent with everything acked before the
+            # request; the event loop holds still while it lands.
+            path = self._take_checkpoint()  # repro: ignore[asyncsafe]
             doc = {"path": str(path), "served": self.session.served}
             return (
                 200,
@@ -527,7 +536,9 @@ def result_digest(result) -> str:
 
 async def serve_until_drained(config: ServeConfig, *, out=None) -> ServeDaemon:
     """Run one daemon lifecycle: start, serve, drain, return."""
-    daemon = ServeDaemon(config, out=out)
+    # Checkpoint restore in __init__ is a deliberate synchronous read:
+    # nothing is served until the state is fully loaded.
+    daemon = ServeDaemon(config, out=out)  # repro: ignore[asyncsafe]
     await daemon.start()
     daemon.install_signal_handlers()
     await daemon.wait_closed()

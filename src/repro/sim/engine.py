@@ -1276,8 +1276,6 @@ class StorageSimulator:
         # on a *different* disk whose timeline has not seen this
         # instant) pay no wrapper call.
         saved_listener = write_policy.activity_listener
-        if saved_listener is not None:
-            write_policy.activity_listener = split_gap
         # With no observability probe wired, _write_to_disk reduces to
         # a per-disk submit, a counter bump, and the listener call —
         # which is split_gap itself for the loop's duration — so the
@@ -1299,6 +1297,10 @@ class StorageSimulator:
 
         time = 0.0
         try:
+            # the swap sits inside the try so the finally's restore is
+            # reached from every statement that runs with it in place
+            if saved_listener is not None:
+                write_policy.activity_listener = split_gap
             for time, disk, block, is_write, nt_new in zip(
                 times, disks, blocks_col, writes, policy._next_time
             ):

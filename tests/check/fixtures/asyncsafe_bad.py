@@ -1,0 +1,28 @@
+"""Seeded violations for the asyncsafe rule (never imported)."""
+
+import threading
+import time
+
+
+async def naps():
+    time.sleep(0.5)  # direct blocking call on the event loop
+
+
+def _sync_helper(path):
+    return path.read_text()  # blocking file I/O
+
+
+def _middle(path):
+    return _sync_helper(path)
+
+
+async def transitively_blocks(path):
+    return _middle(path)  # reaches read_text two hops down
+
+
+_lock = threading.Lock()
+
+
+async def holds_lock_across_await(other):
+    with _lock:
+        await other()  # parks the coroutine while holding a sync lock

@@ -1,0 +1,25 @@
+"""Idioms the asyncsafe rule must accept (never imported)."""
+
+import asyncio
+import time
+
+
+def _sync_helper():
+    time.sleep(0.1)  # blocking is fine in sync code nobody awaits from
+
+
+async def offloads():
+    await asyncio.to_thread(_sync_helper)  # sanctioned escape hatch
+
+
+async def offloads_via_executor(loop):
+    await loop.run_in_executor(None, _sync_helper)
+
+
+async def sleeps_properly():
+    await asyncio.sleep(0.1)
+
+
+async def async_lock_is_fine(lock):
+    async with lock:
+        await asyncio.sleep(0)  # asyncio.Lock + async with: fine

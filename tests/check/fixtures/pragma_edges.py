@@ -1,0 +1,50 @@
+"""Pragma edge cases: decorators, multi-line expressions (never imported).
+
+Pragmas are line-scoped: a ``# repro: ignore[...]`` comment silences
+findings *reported on its physical line*. These fixtures pin down the
+two places that bites: decorated defs (the decorator line is not the
+def line) and expressions spanning several physical lines (the finding
+sits on the violating call's line, not the closing paren's).
+"""
+
+import functools
+import time
+
+
+def _traced(fn):
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+
+    return wrapper
+
+
+@_traced
+@_traced
+def decorated_suppressed():
+    # suppression inside a decorated body works exactly like an
+    # undecorated one — decorators shift nothing
+    return time.time()  # repro: ignore[determinism]
+
+
+@_traced  # repro: ignore[determinism]
+def decorator_line_pragma_does_not_leak():
+    # the pragma above sits on the *decorator* line; the violation is
+    # on this body line, so it is still reported
+    return time.time()
+
+
+def multiline_suppressed():
+    value = (
+        time.time()  # repro: ignore[determinism]
+        + 1.0
+    )
+    return value
+
+
+def multiline_closing_paren_pragma_misses():
+    value = (
+        time.time()
+        + 1.0
+    )  # repro: ignore[determinism]
+    return value

@@ -7,5 +7,5 @@ def render(latency_s, energy_j):
     return ms, kj
 
 
-def confused(idle_s, idle_j):
-    return idle_s + idle_j     # time + energy is dimensionally meaningless
+def swapped(wall_s):
+    return 3600.0 * wall_s     # literal on the LEFT must fire too

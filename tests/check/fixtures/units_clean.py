@@ -13,3 +13,7 @@ def render(latency_s, energy_j):
 def fine(idle_s, busy_s, count):
     total_s = idle_s + busy_s  # same dimension: fine
     return total_s, count * 1000  # factor on a unit-less name: fine
+
+
+def fine_swapped(count):
+    return 3600.0 * count  # left-side literal on a unit-less name: fine

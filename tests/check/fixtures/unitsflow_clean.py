@@ -1,0 +1,38 @@
+"""Idioms the unitsflow rule must accept (never imported)."""
+
+MS_PER_S = 1000.0  # stands in for repro.units.MS_PER_S
+
+
+def converts(latency_ms):
+    latency_s = latency_ms / MS_PER_S  # a conversion resets the unit
+    return latency_s
+
+
+def constant_scaled(wake_s):
+    wake_ms = wake_s * MS_PER_S  # multiply laundered: no claim
+    return wake_ms
+
+
+def branch_join(flag, lat_s, lat_ms):
+    if flag:
+        value = lat_s
+    else:
+        value = lat_ms / MS_PER_S
+    out_s = value  # paths disagree only in spelling; join is unknown
+    return out_s
+
+
+def total_gap_s(gaps_s):
+    return min(gaps_s) if gaps_s else sum(gaps_s)  # unit-preserving calls
+
+
+def helper(spin_up_s):
+    return spin_up_s
+
+
+def passes_right_unit(wake_s):
+    return helper(wake_s)
+
+
+def same_dimension(idle_s, busy_s):
+    return idle_s + busy_s  # same unit: fine

@@ -1,0 +1,147 @@
+"""The CI baseline-growth guard: checks/baseline_guard.py."""
+
+import importlib.util
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "baseline_guard", REPO_ROOT / "checks" / "baseline_guard.py"
+)
+guard = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(guard)
+
+
+def _baseline_text(entries):
+    return json.dumps(
+        {
+            "version": 1,
+            "entries": [
+                {"rule": r, "path": p, "message": m, "count": c}
+                for (r, p, m), c in entries.items()
+            ],
+        }
+    )
+
+
+OLD = {("units", "a.py", "bad factor"): 1}
+GROWN = {
+    ("units", "a.py", "bad factor"): 2,
+    ("resource", "b.py", "leaks"): 1,
+}
+SHRUNK: dict = {}
+
+
+class TestPieces:
+    def test_load_entries_roundtrip(self):
+        assert guard.load_entries(_baseline_text(GROWN)) == GROWN
+
+    def test_load_entries_rejects_non_baseline(self):
+        with pytest.raises(ValueError, match="no 'entries'"):
+            guard.load_entries("[1, 2]")
+
+    def test_grown_entries_detects_new_keys_and_higher_counts(self):
+        grown = guard.grown_entries(OLD, GROWN)
+        assert [(key, old, new) for key, old, new in grown] == [
+            (("resource", "b.py", "leaks"), 0, 1),
+            (("units", "a.py", "bad factor"), 1, 2),
+        ]
+
+    def test_shrinking_is_not_growth(self):
+        assert guard.grown_entries(OLD, SHRUNK) == []
+        assert guard.grown_entries(GROWN, OLD) == []
+
+    def test_trailer_detection(self):
+        assert guard.has_trailer("Fix stuff\n\nBASELINE: accepted debt")
+        assert guard.has_trailer("  BASELINE: reason, indented")
+        assert not guard.has_trailer("BASELINE:")  # no reason given
+        assert not guard.has_trailer("mentions baseline in prose")
+        assert not guard.has_trailer("")
+
+
+@pytest.fixture()
+def git_repo(tmp_path):
+    """A one-commit repo whose baseline matches OLD."""
+
+    def git(*args):
+        subprocess.run(
+            [
+                "git", "-c", "user.email=t@example.com",
+                "-c", "user.name=t", *args,
+            ],
+            cwd=tmp_path,
+            check=True,
+            capture_output=True,
+        )
+
+    (tmp_path / "checks").mkdir()
+    baseline = tmp_path / "checks" / "baseline.json"
+    baseline.write_text(_baseline_text(OLD))
+    git("init", "-q", "-b", "main")
+    git("add", ".")
+    git("commit", "-q", "-m", "seed baseline")
+    return tmp_path, git, baseline
+
+
+class TestGuardEndToEnd:
+    def test_unchanged_baseline_passes(self, git_repo, capsys):
+        repo, _git, _baseline = git_repo
+        assert guard.run_guard("HEAD", repo=repo) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_growth_without_trailer_fails(self, git_repo, capsys):
+        repo, git, baseline = git_repo
+        baseline.write_text(_baseline_text(GROWN))
+        git("commit", "-aqm", "sneak in new baseline entries")
+        rc = guard.run_guard("HEAD~1", repo=repo)
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "+1 [resource] b.py: leaks" in err
+        assert "BASELINE:" in err
+
+    def test_growth_with_trailer_passes(self, git_repo, capsys):
+        repo, git, baseline = git_repo
+        baseline.write_text(_baseline_text(GROWN))
+        git(
+            "commit", "-aqm",
+            "accept the leak finding for now\n\n"
+            "BASELINE: tracked in the resource-cleanup milestone",
+        )
+        assert guard.run_guard("HEAD~1", repo=repo) == 0
+        assert "accepted via BASELINE:" in capsys.readouterr().out
+
+    def test_shrinking_passes_without_trailer(self, git_repo, capsys):
+        repo, git, baseline = git_repo
+        baseline.write_text(_baseline_text(SHRUNK))
+        git("commit", "-aqm", "pay down baseline debt")
+        assert guard.run_guard("HEAD~1", repo=repo) == 0
+
+    def test_missing_baseline_at_base_treated_as_empty(
+        self, git_repo, capsys
+    ):
+        repo, git, baseline = git_repo
+        # simulate a repo that gained its first baseline in this range:
+        # the base ref has no baseline file at all
+        git("rm", "-q", "--cached", "checks/baseline.json")
+        git("commit", "-qm", "drop baseline from index")
+        baseline.write_text(_baseline_text(OLD))
+        git("add", "checks/baseline.json")
+        git("commit", "-qm", "introduce baseline")
+        rc = guard.run_guard("HEAD~1", repo=repo)
+        assert rc == 1  # brand-new entries still need the trailer
+        assert guard.run_guard("HEAD~1", repo=repo, message="BASELINE: ok") == 0
+
+    def test_cli_message_file_override(self, git_repo, tmp_path, capsys):
+        repo, git, baseline = git_repo
+        baseline.write_text(_baseline_text(GROWN))
+        git("commit", "-aqm", "grow baseline, sign-off out of band")
+        msg = tmp_path / "msg.txt"
+        msg.write_text("BASELINE: reviewed and accepted")
+        rc = guard.run_guard(
+            "HEAD~1", repo=repo, message=msg.read_text()
+        )
+        assert rc == 0

@@ -4,9 +4,6 @@ The fixtures under ``fixtures/`` are parsed, never imported — see
 ``fixtures/README.md``.
 """
 
-from repro.check.finding import Severity
-
-
 def _messages(findings):
     return "\n".join(f.message for f in findings)
 
@@ -45,11 +42,87 @@ class TestUnits:
         msgs = _messages(report.findings)
         assert "`* 1000`" in msgs and "'latency_s'" in msgs
         assert "`/ 1000.0`" in msgs and "'energy_j'" in msgs
-        assert "mixed dimensions: time `+` energy" in msgs
         assert len(report.errors) == 3
+
+    def test_fires_with_literal_on_either_side(self, check_fixture):
+        # `3600.0 * wall_s` (literal left) must fire exactly like
+        # `wall_s * 3600.0` — the factor scan covers both orientations.
+        report = check_fixture("units_bad.py", select=["units"])
+        msgs = _messages(report.findings)
+        assert "`* 3600.0`" in msgs and "'wall_s'" in msgs
 
     def test_silent_on_clean_twin(self, check_fixture):
         report = check_fixture("units_clean.py", select=["units"])
+        assert report.findings == []
+
+
+class TestUnitsFlow:
+    def test_fires_on_seeded_violations(self, check_fixture):
+        report = check_fixture("unitsflow_bad.py", select=["unitsflow"])
+        msgs = _messages(report.errors)
+        assert "assigns `ms` value `latency_ms` to `s`-suffixed" in msgs
+        assert "`mean_gap_s` is `s`-suffixed but returns a `ms`" in msgs
+        assert "passes `ms` value `wake_ms` to `s`-suffixed" in msgs
+        assert "mixed dimensions: time `+` energy" in msgs
+        assert "mixed scales: `s` `+` `ms`" in msgs
+        assert len(report.errors) == 6
+
+    def test_tracks_units_through_aliases(self, check_fixture):
+        # `x = latency_ms; total_s = x` — the drift is only visible
+        # through the dataflow environment, not the assigned name.
+        report = check_fixture("unitsflow_bad.py", select=["unitsflow"])
+        msgs = _messages(report.errors)
+        assert "assigns `ms` value `x` to `s`-suffixed target `total_s`" in msgs
+
+    def test_silent_on_clean_twin(self, check_fixture):
+        # conversions, constant scaling, branch joins, unit-preserving
+        # builtins: all must stay silent
+        report = check_fixture("unitsflow_clean.py", select=["unitsflow"])
+        assert report.findings == []
+
+
+class TestAsyncSafe:
+    def test_fires_on_seeded_violations(self, check_fixture):
+        report = check_fixture("asyncsafe_bad.py", select=["asyncsafe"])
+        msgs = _messages(report.errors)
+        assert "`naps` blocks the event loop: `time.sleep`" in msgs
+        assert "awaits while holding sync lock `_lock`" in msgs
+        assert len(report.errors) == 3
+
+    def test_reports_the_transitive_chain(self, check_fixture):
+        report = check_fixture("asyncsafe_bad.py", select=["asyncsafe"])
+        msgs = _messages(report.errors)
+        assert "transitively_blocks -> _middle -> _sync_helper" in msgs
+        assert ".read_text()` performs synchronous file I/O" in msgs
+
+    def test_silent_on_clean_twin(self, check_fixture):
+        # to_thread / run_in_executor offloading, asyncio.sleep, and
+        # async-with locks must stay silent
+        report = check_fixture("asyncsafe_clean.py", select=["asyncsafe"])
+        assert report.findings == []
+
+
+class TestResource:
+    def test_fires_on_seeded_violations(self, check_fixture):
+        report = check_fixture("resource_bad.py", select=["resource"])
+        msgs = _messages(report.errors)
+        assert "`shm` from `share()` leaks on the exception path" in msgs
+        assert "`fd/tmp` from `mkstemp()` is acquired but never" in msgs
+        assert len(report.errors) == 4
+
+    def test_saved_attribute_discipline(self, check_fixture):
+        report = check_fixture("resource_bad.py", select=["resource"])
+        msgs = _messages(report.errors)
+        assert (
+            "restore from `saved_probe` is not reached on the "
+            "exception path" in msgs
+        )
+        assert "never restored from it" in msgs
+
+    def test_silent_on_clean_twin(self, check_fixture):
+        # finally-guarded releases, mkstemp+replace, ownership
+        # hand-off, context managers, finally-restored swaps
+        report = check_fixture("resource_clean.py", select=["resource"])
         assert report.findings == []
 
 
@@ -110,7 +183,8 @@ def test_every_rule_registered():
     from repro.check.base import CHECKERS
 
     assert set(CHECKERS) == {
-        "determinism", "units", "fastpath", "events", "slots"
+        "determinism", "units", "unitsflow", "asyncsafe", "resource",
+        "fastpath", "events", "slots",
     }
     for rule, cls in CHECKERS.items():
         assert cls.rule == rule

@@ -28,6 +28,28 @@ class TestPragmas:
             "custom_loop" in f.message for f in report.findings
         )
 
+    def test_pragma_in_decorated_def_body(self, check_fixture):
+        report = check_fixture("pragma_edges.py", select=["determinism"])
+        # suppression inside a decorated body works; a pragma on the
+        # decorator line does NOT leak onto body lines
+        assert len(report.suppressed) == 2
+        assert len(report.findings) == 2
+        suppressed = {f.line for f in report.suppressed}
+        live = {f.line for f in report.findings}
+        assert suppressed.isdisjoint(live)
+
+    def test_pragma_on_multiline_expression_is_line_scoped(
+        self, check_fixture
+    ):
+        report = check_fixture("pragma_edges.py", select=["determinism"])
+        # the pragma on the violating call's own physical line
+        # suppresses; one on the closing paren's line does not
+        src = (FIXTURES / "pragma_edges.py").read_text().splitlines()
+        for f in report.suppressed:
+            assert "repro: ignore" in src[f.line - 1]
+        for f in report.findings:
+            assert "repro: ignore" not in src[f.line - 1]
+
 
 class TestBaseline:
     def test_roundtrip_suppresses_exactly(self, tmp_path, check_fixture):
@@ -177,9 +199,110 @@ class TestCli:
         capsys.readouterr()
         assert rc == 0
 
+    def test_update_baseline_with_select_keeps_other_rules(
+        self, tmp_path, capsys
+    ):
+        # Regression: --update-baseline --select RULE used to rewrite
+        # the whole file from the selected-rules run, silently dropping
+        # every other rule's accepted entries.
+        path = tmp_path / "baseline.json"
+        paths = [
+            str(FIXTURES / "units_bad.py"),
+            str(FIXTURES / "determinism_bad.py"),
+        ]
+        rc = cli_main(
+            ["check", *paths, "--baseline", str(path), "--update-baseline"]
+        )
+        assert rc == 0
+        before = json.loads(path.read_text())["entries"]
+        assert {"units", "determinism"} <= {e["rule"] for e in before}
+
+        rc = cli_main(
+            [
+                "check", *paths,
+                "--baseline", str(path),
+                "--update-baseline",
+                "--select", "units",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "kept" in out
+        after = json.loads(path.read_text())["entries"]
+        assert {e["rule"] for e in after} == {e["rule"] for e in before}
+        assert after == before  # nothing actually changed in the tree
+
+        # the merged baseline still greens a full strict run
+        rc = cli_main(
+            ["check", *paths, "--baseline", str(path), "--strict"]
+        )
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_pragmas_surface_in_json_and_exit_codes(self, capsys):
+        # live findings fail even with pragmas present...
+        rc = cli_main(
+            [
+                "check", str(FIXTURES / "pragma_edges.py"),
+                "--no-baseline", "--format", "json",
+                "--select", "determinism",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["pragma_ignored"] == 2
+        assert len(payload["findings"]) == 2
+    def test_fully_suppressed_file_is_green_even_strict(
+        self, tmp_path, capsys
+    ):
+        src = tmp_path / "suppressed.py"
+        src.write_text(
+            "import time\n"
+            "now = time.time()  # repro: ignore[determinism]\n"
+        )
+        rc = cli_main(
+            [
+                "check", str(src),
+                "--no-baseline", "--format", "json", "--strict",
+                "--select", "determinism",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["failed"] is False
+        assert payload["pragma_ignored"] == 1
+        assert payload["findings"] == []
+
     def test_list_rules(self, capsys):
         rc = cli_main(["check", "--list-rules"])
         out = capsys.readouterr().out
         assert rc == 0
-        for rule in ("determinism", "units", "fastpath", "events", "slots"):
+        for rule in (
+            "determinism", "units", "unitsflow", "asyncsafe",
+            "resource", "fastpath", "events", "slots",
+        ):
             assert rule in out
+
+    def test_explain_prints_rule_documentation(self, capsys):
+        rc = cli_main(["check", "--explain", "unitsflow"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.startswith("unitsflow — ")
+        assert "How to fix:" in out
+        assert "Example finding:" in out
+
+    def test_explain_covers_every_registered_rule(self, capsys):
+        from repro.check.base import CHECKERS
+
+        for rule in CHECKERS:
+            rc = cli_main(["check", "--explain", rule])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "How to fix:" in out, rule
+            assert "Example finding:" in out, rule
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        rc = cli_main(["check", "--explain", "no-such-rule"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown rule" in err
