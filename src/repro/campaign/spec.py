@@ -26,6 +26,18 @@ re-parameterized by axes routed through ``trace_params``::
         "axes": {"write_ratio": [0.0, 0.3, 0.6], "policy": ["lru"]}
     }
 
+A workload *list* sweeps whole families as an implicit ``workload``
+axis (each family regenerated per grid point through the streaming
+generators), optionally re-parameterized per family::
+
+    {
+        "trace": {"workload": ["dbms", "cdn", "tenant"],
+                  "params": {"duration_s": 300},
+                  "per_workload": {"cdn": {"num_disks": 18}}},
+        "axes": {"policy": ["lru", "pa-lru"]},
+        "num_disks": 18
+    }
+
 :func:`run_campaign` executes a spec through the campaign executor and
 returns the familiar :class:`~repro.sim.sweep.SweepResult`.
 """
@@ -45,11 +57,22 @@ from repro.traces.io import load_trace
 from repro.traces.oltp import OLTPTraceConfig, generate_oltp_trace
 from repro.traces.record import IORequest
 from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.traces.zoo import (
+    CDNTraceConfig,
+    DBMSTraceConfig,
+    TenantTraceConfig,
+    generate_cdn_trace,
+    generate_dbms_trace,
+    generate_tenant_trace,
+)
 
 _GENERATORS: dict[str, tuple[type, Callable]] = {
     "oltp": (OLTPTraceConfig, generate_oltp_trace),
     "cello": (CelloTraceConfig, generate_cello_trace),
     "synthetic": (SyntheticTraceConfig, generate_synthetic_trace),
+    "dbms": (DBMSTraceConfig, generate_dbms_trace),
+    "cdn": (CDNTraceConfig, generate_cdn_trace),
+    "tenant": (TenantTraceConfig, generate_tenant_trace),
 }
 
 _SPEC_KEYS = {
@@ -63,7 +86,7 @@ _SPEC_KEYS = {
 }
 
 
-def generated_trace(workload: str, **params: Any) -> list[IORequest]:
+def generated_trace(workload: str, **params: Any) -> Sequence[IORequest]:
     """Build a trace from a named generator (picklable factory target)."""
     try:
         config_cls, generate = _GENERATORS[workload]
@@ -76,6 +99,26 @@ def generated_trace(workload: str, **params: Any) -> list[IORequest]:
         return generate(config_cls(**params))
     except TypeError as exc:
         raise CampaignError(f"bad {workload} generator params: {exc}") from exc
+
+
+def workload_cell_trace(
+    workload: str,
+    shared_params: dict | None = None,
+    per_workload: dict | None = None,
+    **overrides: Any,
+) -> Sequence[IORequest]:
+    """Per-grid-point factory for specs sweeping a ``workload`` axis.
+
+    Merges, lowest precedence first: ``shared_params`` (the spec's
+    ``trace.params``), the cell's entry in ``per_workload`` (the spec's
+    ``trace.per_workload``), and any swept ``trace_params`` overrides.
+    Picklable and partial-friendly, so the campaign result store can
+    key cache entries on the bound arguments.
+    """
+    params = dict(shared_params or {})
+    params.update((per_workload or {}).get(workload, {}))
+    params.update(overrides)
+    return generated_trace(workload, **params)
 
 
 @dataclass
@@ -93,6 +136,33 @@ class CampaignSpec:
     base_dir: Path = field(default_factory=Path)
 
     def __post_init__(self) -> None:
+        workload = self.trace.get("workload")
+        if isinstance(workload, (list, tuple)):
+            # A workload list is an implicit "workload" axis: every
+            # family becomes one slice of the grid, regenerated per
+            # point through the trace factory.
+            if not workload or not all(isinstance(w, str) for w in workload):
+                raise CampaignError(
+                    "'trace.workload' list must be non-empty workload names"
+                )
+            if "workload" in self.axes or "workload" in self.fixed:
+                raise CampaignError(
+                    "a workload list already defines the 'workload' axis"
+                )
+            self.axes = {"workload": list(workload), **self.axes}
+            self.trace_params = tuple(self.trace_params) + ("workload",)
+        per_workload = self.trace.get("per_workload")
+        if per_workload is not None:
+            if not isinstance(workload, (list, tuple)):
+                raise CampaignError(
+                    "'trace.per_workload' needs a 'trace.workload' list"
+                )
+            unknown_pw = set(per_workload) - set(workload)
+            if unknown_pw:
+                raise CampaignError(
+                    f"per_workload entries not in the workload list: "
+                    f"{sorted(unknown_pw)}"
+                )
         if not self.axes:
             raise CampaignError("campaign spec needs at least one axis")
         for axis, values in self.axes.items():
@@ -167,6 +237,12 @@ class CampaignSpec:
             return load_trace(self.base_dir / self.trace["file"])
         workload = self.trace["workload"]
         params = dict(self.trace.get("params", {}))
+        if isinstance(workload, (list, tuple)):
+            return partial(
+                workload_cell_trace,
+                shared_params=params,
+                per_workload=dict(self.trace.get("per_workload") or {}),
+            )
         if self.trace_params:
             return partial(generated_trace, workload, **params)
         return generated_trace(workload, **params)
@@ -180,7 +256,13 @@ class CampaignSpec:
                 "num_disks must be given when the workload is generated "
                 "per grid point"
             )
-        return max(r.disk for r in workload) + 1 if workload else 1
+        if not len(workload):
+            return 1
+        disks = getattr(workload, "disks", None)
+        if disks is not None:
+            # columnar trace: read the column, skip boxing every row
+            return int(max(disks)) + 1
+        return max(r.disk for r in workload) + 1
 
 
 def run_campaign(

@@ -4,16 +4,22 @@ Main subcommands::
 
     python -m repro info                         # Table 1: the disk model
     python -m repro generate oltp -o trace.csv   # produce a workload file
+    python -m repro trace import blk.txt -o trace.csv  # import a real trace
     python -m repro simulate trace.csv -p pa-lru # run one policy
+    python -m repro simulate --workload dbms -p pa-lru   # generate + run
     python -m repro compare trace.csv -p lru -p pa-lru   # normalized table
     python -m repro campaign spec.json --workers 4 --cache-dir .cache
     python -m repro faults trace.csv --matrix      # crash-recovery audit
     python -m repro serve -p pa-lru --tcp-port 7777  # live ingest daemon
 
-``generate`` accepts ``oltp``, ``cello``, or ``synthetic`` and the most
-useful generator knobs; ``simulate``/``compare`` accept any policy from
-:data:`repro.sim.runner.POLICY_NAMES` and any write policy from
-:data:`repro.sim.runner.WRITE_POLICY_NAMES`. ``campaign`` runs a whole
+``generate`` accepts any name in :data:`WORKLOAD_NAMES` — the classic
+``oltp``/``cello``/``synthetic`` generators plus the zoo families in
+:mod:`repro.traces.zoo` — and the most useful generator knobs;
+``simulate``/``compare`` take either a trace CSV or ``--workload`` and
+accept any policy from :data:`repro.sim.runner.POLICY_NAMES` and any
+write policy from :data:`repro.sim.runner.WRITE_POLICY_NAMES`.
+``trace import`` converts blktrace text dumps and iostat reports into
+the native CSV (:mod:`repro.traces.ingest`). ``campaign`` runs a whole
 experiment grid from a JSON spec file through the parallel, cached,
 journaled executor in :mod:`repro.campaign`.
 """
@@ -34,7 +40,12 @@ from repro.traces.io import load_trace, save_trace
 from repro.traces.oltp import OLTPTraceConfig, generate_oltp_trace
 from repro.traces.stats import characterize
 from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.traces.zoo import ZOO_WORKLOADS
 from repro.units import KILO, MINUTE, MS_PER_S
+
+#: ``generate`` / ``--workload`` choices: the classic generators plus
+#: the workload zoo families (see repro.traces.zoo).
+WORKLOAD_NAMES = ("oltp", "cello", "synthetic") + tuple(sorted(ZOO_WORKLOADS))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -49,14 +60,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     gen = sub.add_parser("generate", help="generate a workload trace file")
     gen.add_argument(
-        "workload", choices=("oltp", "cello", "synthetic"),
+        "workload", choices=WORKLOAD_NAMES,
         help="which generator to run",
     )
     gen.add_argument("-o", "--output", required=True, help="output CSV path")
     gen.add_argument("--seed", type=int, default=None)
     gen.add_argument(
         "--duration", type=float, default=None,
-        help="trace duration in seconds (oltp/cello)",
+        help="trace duration in seconds (all workloads except synthetic)",
     )
     gen.add_argument(
         "--requests", type=int, default=None,
@@ -64,8 +75,50 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     gen.add_argument("--write-ratio", type=float, default=None)
 
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="trace-file utilities (import real block traces)",
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    imp = trace_sub.add_parser(
+        "import",
+        help="convert a blktrace text dump or iostat report to the "
+        "native trace CSV (see repro.traces.ingest)",
+    )
+    imp.add_argument("source", help="blkparse text dump or iostat report")
+    imp.add_argument("-o", "--output", required=True, help="output CSV path")
+    imp.add_argument(
+        "--format", choices=("blktrace", "iostat"), default=None,
+        help="input format (default: sniffed from the file)",
+    )
+    imp.add_argument(
+        "--block-size", type=int, default=None, metavar="BYTES",
+        help="simulator block size (default 8 KiB)",
+    )
+    imp.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="iostat sampling interval (default 1.0)",
+    )
+
     def add_run_args(p):
-        p.add_argument("trace", help="trace CSV (from `repro generate`)")
+        p.add_argument(
+            "trace", nargs="?", default=None,
+            help="trace CSV (from `repro generate` / `repro trace "
+            "import`); omit to use --workload",
+        )
+        p.add_argument(
+            "--workload", choices=WORKLOAD_NAMES, default=None,
+            help="generate the workload in-process instead of reading "
+            "a trace file",
+        )
+        p.add_argument(
+            "--seed", type=int, default=None,
+            help="generator seed (--workload only)",
+        )
+        p.add_argument(
+            "--duration", type=float, default=None,
+            help="generated trace duration in seconds (--workload only)",
+        )
         p.add_argument(
             "--disks", type=int, default=None,
             help="number of disks (default: inferred from the trace)",
@@ -372,34 +425,52 @@ def _cmd_info(_args) -> int:
     return 0
 
 
+_CLI_GENERATORS = {
+    "oltp": (OLTPTraceConfig, generate_oltp_trace),
+    "cello": (CelloTraceConfig, generate_cello_trace),
+    "synthetic": (SyntheticTraceConfig, generate_synthetic_trace),
+    **ZOO_WORKLOADS,
+}
+
+
+def _generate_workload(
+    workload: str,
+    seed: int | None,
+    duration: float | None,
+    requests: int | None = None,
+    write_ratio: float | None = None,
+):
+    """Build a trace from CLI generator knobs (shared generate/run path)."""
+    from repro.errors import ConfigurationError
+
+    config_cls, generate = _CLI_GENERATORS[workload]
+    overrides = {}
+    if seed is not None:
+        overrides["seed"] = seed
+    if workload == "synthetic":
+        if duration is not None:
+            raise ConfigurationError(
+                "synthetic is sized by --requests, not --duration"
+            )
+        if requests is not None:
+            overrides["num_requests"] = requests
+    elif duration is not None:
+        overrides["duration_s"] = duration
+    if write_ratio is not None:
+        # the DBMS family's only writes are row updates
+        key = "update_fraction" if workload == "dbms" else "write_ratio"
+        overrides[key] = write_ratio
+    return generate(config_cls(**overrides))
+
+
 def _cmd_generate(args) -> int:
-    if args.workload == "oltp":
-        overrides = {}
-        if args.seed is not None:
-            overrides["seed"] = args.seed
-        if args.duration is not None:
-            overrides["duration_s"] = args.duration
-        if args.write_ratio is not None:
-            overrides["write_ratio"] = args.write_ratio
-        trace = generate_oltp_trace(OLTPTraceConfig(**overrides))
-    elif args.workload == "cello":
-        overrides = {}
-        if args.seed is not None:
-            overrides["seed"] = args.seed
-        if args.duration is not None:
-            overrides["duration_s"] = args.duration
-        if args.write_ratio is not None:
-            overrides["write_ratio"] = args.write_ratio
-        trace = generate_cello_trace(CelloTraceConfig(**overrides))
-    else:
-        overrides = {}
-        if args.seed is not None:
-            overrides["seed"] = args.seed
-        if args.requests is not None:
-            overrides["num_requests"] = args.requests
-        if args.write_ratio is not None:
-            overrides["write_ratio"] = args.write_ratio
-        trace = generate_synthetic_trace(SyntheticTraceConfig(**overrides))
+    trace = _generate_workload(
+        args.workload,
+        seed=args.seed,
+        duration=args.duration,
+        requests=args.requests,
+        write_ratio=args.write_ratio,
+    )
     save_trace(trace, args.output)
     stats = characterize(trace)
     print(f"wrote {stats.requests:,} requests to {args.output}")
@@ -411,9 +482,54 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.traces.ingest import import_to_csv
+
+    kwargs = {}
+    if args.block_size is not None:
+        kwargs["block_size"] = args.block_size
+    summary = import_to_csv(
+        args.source,
+        args.output,
+        args.format,
+        interval_s=args.interval,
+        **kwargs,
+    )
+    print(
+        f"imported {summary.requests:,} requests "
+        f"({summary.format}) to {args.output}"
+    )
+    print(
+        f"  disks={summary.num_disks} duration={summary.duration_s:.1f} s "
+        f"lines={summary.lines:,} skipped={summary.skipped:,}"
+    )
+    return 0
+
+
+def _infer_disks(trace) -> int:
+    if not len(trace):
+        return 1
+    disks = getattr(trace, "disks", None)
+    if disks is not None:
+        return int(max(disks)) + 1
+    return max(r.disk for r in trace) + 1
+
+
 def _load(args):
-    trace = load_trace(args.trace)
-    disks = args.disks or (max(r.disk for r in trace) + 1 if trace else 1)
+    from repro.errors import ConfigurationError
+
+    workload = getattr(args, "workload", None)
+    if (args.trace is None) == (workload is None):
+        raise ConfigurationError(
+            "give either a trace file or --workload (not both)"
+        )
+    if workload is not None:
+        trace = _generate_workload(
+            workload, seed=args.seed, duration=args.duration
+        )
+    else:
+        trace = load_trace(args.trace)
+    disks = args.disks or _infer_disks(trace)
     return trace, disks
 
 
@@ -477,7 +593,7 @@ def _cmd_compare(args) -> int:
             ["policy", "energy (kJ)", f"vs {policies[0]}",
              "mean resp (ms)", "hit ratio", "spinups"],
             rows,
-            title=f"{args.trace} — {args.dpm} DPM, "
+            title=f"{args.trace or args.workload} — {args.dpm} DPM, "
             f"{args.cache_blocks} cache blocks",
         )
     )
@@ -768,6 +884,7 @@ def _cmd_check(args) -> int:
 _COMMANDS = {
     "info": _cmd_info,
     "generate": _cmd_generate,
+    "trace": _cmd_trace,
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
     "reproduce": _cmd_reproduce,

@@ -6,42 +6,86 @@ HP's Cello96) are proprietary; :mod:`repro.traces.oltp` and
 match the published characteristics (Table 2) and the distributional
 properties the paper's analysis says drive the results. The Table 3
 parameterized generator used by the write-policy study lives in
-:mod:`repro.traces.synthetic`.
+:mod:`repro.traces.synthetic`, the wider workload zoo (DBMS, CDN,
+multi-tenant families) in :mod:`repro.traces.zoo`, and real-trace
+importers (blktrace text, iostat reports) in
+:mod:`repro.traces.ingest`. All of them stream rows through
+:mod:`repro.traces.streaming` into columnar form.
 """
 
 from repro.traces.arrivals import ExponentialArrivals, ParetoArrivals
-from repro.traces.cello import CelloTraceConfig, generate_cello_trace
+from repro.traces.cello import (
+    CelloTraceConfig,
+    generate_cello_trace,
+    generate_cello_trace_columnar,
+)
 from repro.traces.columnar import ColumnarTrace, SharedTraceDescriptor, as_columnar
 from repro.traces.fingerprint import trace_fingerprint
+from repro.traces.ingest import (
+    IMPORT_FORMATS,
+    ImportSummary,
+    import_to_csv,
+    import_trace,
+    sniff_format,
+)
 from repro.traces.locality import SpatialModel, ZipfStackModel
-from repro.traces.oltp import OLTPTraceConfig, generate_oltp_trace
+from repro.traces.oltp import (
+    OLTPTraceConfig,
+    generate_oltp_trace,
+    generate_oltp_trace_columnar,
+)
 from repro.traces.record import IORequest, expand_accesses, iter_accesses
 from repro.traces.stats import TraceCharacteristics, characterize
+from repro.traces.streaming import TraceBuilder, build_columnar
 from repro.traces.synthetic import (
     SyntheticTraceConfig,
     generate_synthetic_trace,
     generate_synthetic_trace_columnar,
 )
+from repro.traces.zoo import (
+    ZOO_WORKLOADS,
+    CDNTraceConfig,
+    DBMSTraceConfig,
+    TenantTraceConfig,
+    generate_cdn_trace,
+    generate_dbms_trace,
+    generate_tenant_trace,
+)
 
 __all__ = [
+    "CDNTraceConfig",
     "CelloTraceConfig",
     "ColumnarTrace",
+    "DBMSTraceConfig",
     "ExponentialArrivals",
+    "IMPORT_FORMATS",
     "IORequest",
+    "ImportSummary",
     "OLTPTraceConfig",
     "ParetoArrivals",
     "SharedTraceDescriptor",
     "SpatialModel",
     "SyntheticTraceConfig",
+    "TenantTraceConfig",
+    "TraceBuilder",
     "TraceCharacteristics",
+    "ZOO_WORKLOADS",
     "ZipfStackModel",
     "as_columnar",
+    "build_columnar",
     "characterize",
     "expand_accesses",
+    "generate_cdn_trace",
     "generate_cello_trace",
+    "generate_cello_trace_columnar",
+    "generate_dbms_trace",
     "generate_oltp_trace",
+    "generate_oltp_trace_columnar",
     "generate_synthetic_trace",
     "generate_synthetic_trace_columnar",
-    "iter_accesses",
+    "generate_tenant_trace",
+    "import_to_csv",
+    "import_trace",
+    "sniff_format",
     "trace_fingerprint",
 ]

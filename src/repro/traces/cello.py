@@ -25,13 +25,16 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.traces.arrivals import ParetoArrivals
+from repro.traces.columnar import ColumnarTrace
 from repro.traces.locality import ZipfStackModel
 from repro.traces.record import IORequest
+from repro.traces.streaming import TraceRow, build_columnar
 from repro.units import DEFAULT_BLOCK_SIZE, GIB
 
 
@@ -73,10 +76,14 @@ class CelloTraceConfig:
         return [overall * w / total for w in weights]
 
 
-def generate_cello_trace(
+def iter_cello_rows(
     config: CelloTraceConfig = CelloTraceConfig(),
-) -> list[IORequest]:
-    """Generate the Cello96-like trace (deterministic given the seed)."""
+) -> Iterator[TraceRow]:
+    """The Cello96 generation loop as a streaming row source (DESIGN §14).
+
+    Draw order is part of the trace's identity, so both public
+    generators funnel through this one loop.
+    """
     rng = np.random.default_rng(config.seed)
     disk_blocks = config.disk_size_bytes // config.block_size
     # one reuse stack per disk: traffic is per-disk, blocks don't migrate
@@ -100,7 +107,6 @@ def generate_cello_trace(
     for disk, process in enumerate(processes):
         heapq.heappush(heap, (process.next_gap(), disk))
 
-    trace: list[IORequest] = []
     while heap:
         time, disk = heapq.heappop(heap)
         if time > config.duration_s:
@@ -116,13 +122,26 @@ def generate_cello_trace(
             remaining_run[disk] -= 1
             key = (disk, block)
             stacks[disk].push(key)
-        trace.append(
-            IORequest(
-                time=time,
-                disk=disk,
-                block=key[1],
-                is_write=bool(rng.random() < config.write_ratio),
-            )
-        )
+        yield (time, disk, key[1], 1, bool(rng.random() < config.write_ratio))
         heapq.heappush(heap, (time + processes[disk].next_gap(), disk))
-    return trace
+
+
+def generate_cello_trace(
+    config: CelloTraceConfig = CelloTraceConfig(),
+) -> list[IORequest]:
+    """Generate the Cello96-like trace (deterministic given the seed)."""
+    return [
+        IORequest(time=t, disk=d, block=b, is_write=w)
+        for t, d, b, _, w in iter_cello_rows(config)
+    ]
+
+
+def generate_cello_trace_columnar(
+    config: CelloTraceConfig = CelloTraceConfig(),
+) -> ColumnarTrace:
+    """:func:`generate_cello_trace` streamed straight into columns.
+
+    Same seed, same draws, same requests — an equivalence test pins the
+    two representations to identical fingerprints.
+    """
+    return build_columnar(iter_cello_rows(config))

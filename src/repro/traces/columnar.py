@@ -125,7 +125,12 @@ class ColumnarTrace:
         with open(path, newline="") as fh:
             reader = csv.reader(fh)
             header = next(reader, None)
-            if header != _CSV_HEADER:
+            cleaned = None
+            if header is not None:
+                # Tolerate a UTF-8 BOM / stray whitespace, matching
+                # repro.traces.io._check_header.
+                cleaned = [field.lstrip("\ufeff").strip() for field in header]
+            if cleaned != _CSV_HEADER:
                 raise TraceError(f"{path}: bad header {header!r}")
             for line_no, row in enumerate(reader, start=2):
                 if len(row) != 5:

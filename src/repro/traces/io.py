@@ -1,9 +1,12 @@
 """Trace file persistence (CSV).
 
 Format: one header line, then ``time,disk,block,nblocks,op`` rows with
-``op`` in ``{R, W}``. Times are seconds with microsecond precision —
-enough for the paper's millisecond-scale workloads while keeping files
-diff-friendly.
+``op`` in ``{R, W}``. Times are written with full ``repr`` precision so
+a save → load round trip reproduces the exact floats — and therefore
+the exact :func:`~repro.traces.fingerprint.trace_fingerprint`, which
+the campaign result cache uses as its identity key. (An earlier format
+quantized times to microseconds, which silently changed fingerprints
+across a round trip and defeated that cache.)
 """
 
 from __future__ import annotations
@@ -18,8 +21,22 @@ from repro.traces.record import IORequest, validate_trace
 _HEADER = ["time", "disk", "block", "nblocks", "op"]
 
 
+def _check_header(header: list[str] | None, path: str | Path) -> None:
+    """Accept the canonical header modulo a BOM and stray whitespace.
+
+    Files that pass through Windows editors or spreadsheet exports grow
+    a UTF-8 BOM on the first cell or trailing spaces after commas; both
+    are cosmetic, so normalize before comparing instead of rejecting.
+    """
+    if header is not None:
+        cleaned = [field.lstrip("\ufeff").strip() for field in header]
+        if cleaned == _HEADER:
+            return
+    raise TraceError(f"{path}: bad header {header!r}")
+
+
 def save_trace(trace: Sequence[IORequest], path: str | Path) -> None:
-    """Write a trace to ``path`` as CSV."""
+    """Write a trace to ``path`` as CSV (round-trip exact)."""
     validate_trace(trace)
     with open(path, "w", newline="") as fh:
         writer = csv.writer(fh)
@@ -27,7 +44,7 @@ def save_trace(trace: Sequence[IORequest], path: str | Path) -> None:
         for req in trace:
             writer.writerow(
                 [
-                    f"{req.time:.6f}",
+                    repr(float(req.time)),
                     req.disk,
                     req.block,
                     req.nblocks,
@@ -45,9 +62,7 @@ def load_trace(path: str | Path) -> list[IORequest]:
     trace: list[IORequest] = []
     with open(path, newline="") as fh:
         reader = csv.reader(fh)
-        header = next(reader, None)
-        if header != _HEADER:
-            raise TraceError(f"{path}: bad header {header!r}")
+        _check_header(next(reader, None), path)
         for line_no, row in enumerate(reader, start=2):
             if len(row) != len(_HEADER):
                 raise TraceError(f"{path}:{line_no}: expected 5 fields")
@@ -74,9 +89,7 @@ def iter_trace(path: str | Path) -> Iterable[IORequest]:
     """Stream a trace file without materializing it."""
     with open(path, newline="") as fh:
         reader = csv.reader(fh)
-        header = next(reader, None)
-        if header != _HEADER:
-            raise TraceError(f"{path}: bad header {header!r}")
+        _check_header(next(reader, None), path)
         for row in reader:
             yield IORequest(
                 time=float(row[0]),

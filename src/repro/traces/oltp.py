@@ -30,13 +30,16 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.traces.arrivals import ExponentialArrivals, ParetoArrivals
+from repro.traces.columnar import ColumnarTrace
 from repro.traces.locality import ZipfPopularity
 from repro.traces.record import IORequest
+from repro.traces.streaming import TraceRow, build_columnar
 from repro.units import DEFAULT_BLOCK_SIZE, GIB, HOUR
 
 
@@ -88,15 +91,16 @@ class OLTPTraceConfig:
         return (self.total_rate - cool_total) / self.num_hot_disks
 
 
-def generate_oltp_trace(
+def iter_oltp_rows(
     config: OLTPTraceConfig = OLTPTraceConfig(),
-) -> list[IORequest]:
-    """Generate the OLTP-like trace (deterministic given ``config.seed``).
+) -> Iterator[TraceRow]:
+    """The OLTP generation loop as a streaming row source (DESIGN §14).
 
     Each disk runs an independent arrival process (exponential for hot
     disks, Pareto for cool — bursty traffic with a floor on gap length
     is what gives cool disks parkable idle periods); the per-disk
-    streams are merged by time.
+    streams are merged by time. Draw order is part of the trace's
+    identity, so both public generators funnel through this one loop.
     """
     rng = np.random.default_rng(config.seed)
     disk_blocks = config.disk_size_bytes // config.block_size
@@ -134,18 +138,36 @@ def generate_oltp_trace(
     heap: list[tuple[float, int]] = []
     for disk, process in enumerate(processes):
         heapq.heappush(heap, (process.next_gap(), disk))
-    trace: list[IORequest] = []
     while heap:
         time, disk = heapq.heappop(heap)
         if time > config.duration_s:
             continue  # this disk's stream is exhausted
-        trace.append(
-            IORequest(
-                time=time,
-                disk=disk,
-                block=pickers[disk].next_block(),
-                is_write=bool(rng.random() < config.write_ratio),
-            )
+        yield (
+            time,
+            disk,
+            pickers[disk].next_block(),
+            1,
+            bool(rng.random() < config.write_ratio),
         )
         heapq.heappush(heap, (time + processes[disk].next_gap(), disk))
-    return trace
+
+
+def generate_oltp_trace(
+    config: OLTPTraceConfig = OLTPTraceConfig(),
+) -> list[IORequest]:
+    """Generate the OLTP-like trace (deterministic given ``config.seed``)."""
+    return [
+        IORequest(time=t, disk=d, block=b, is_write=w)
+        for t, d, b, _, w in iter_oltp_rows(config)
+    ]
+
+
+def generate_oltp_trace_columnar(
+    config: OLTPTraceConfig = OLTPTraceConfig(),
+) -> ColumnarTrace:
+    """:func:`generate_oltp_trace` streamed straight into columns.
+
+    Same seed, same draws, same requests — an equivalence test pins the
+    two representations to identical fingerprints.
+    """
+    return build_columnar(iter_oltp_rows(config))

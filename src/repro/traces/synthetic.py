@@ -11,6 +11,7 @@ Figure 9.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -19,6 +20,7 @@ from repro.traces.arrivals import make_arrivals
 from repro.traces.columnar import ColumnarTrace
 from repro.traces.locality import SpatialModel, ZipfStackModel
 from repro.traces.record import IORequest
+from repro.traces.streaming import TraceRow, build_columnar
 from repro.units import DEFAULT_BLOCK_SIZE, GIB
 
 
@@ -61,10 +63,10 @@ class SyntheticTraceConfig:
         return self.disk_size_bytes // self.block_size
 
 
-def _generate_columns(
-    config: SyntheticTraceConfig,
-) -> tuple[list[float], list[int], list[int], list[bool]]:
-    """The generation loop, shared by both trace representations.
+def iter_synthetic_rows(
+    config: SyntheticTraceConfig = SyntheticTraceConfig(),
+) -> Iterator[TraceRow]:
+    """The generation loop as a streaming row source (DESIGN §14).
 
     Draw order is part of the trace's identity (fixtures pin traces by
     seed), so both public generators must funnel through this one loop.
@@ -97,10 +99,6 @@ def _generate_columns(
     rng_integers = rng.integers
     num_disks = config.num_disks
     write_ratio = config.write_ratio
-    times: list[float] = []
-    disks: list[int] = []
-    blocks: list[int] = []
-    writes: list[bool] = []
     time = 0.0
     for _ in range(config.num_requests):
         time += next_gap()
@@ -109,21 +107,16 @@ def _generate_columns(
             disk = int(rng_integers(num_disks))
             key = (disk, next_block(disk))
             push(key)
-        times.append(time)
-        disks.append(key[0])
-        blocks.append(key[1])
-        writes.append(bool(rng_random() < write_ratio))
-    return times, disks, blocks, writes
+        yield (time, key[0], key[1], 1, bool(rng_random() < write_ratio))
 
 
 def generate_synthetic_trace(
     config: SyntheticTraceConfig = SyntheticTraceConfig(),
 ) -> list[IORequest]:
     """Generate one Table 3 trace (deterministic given ``config.seed``)."""
-    times, disks, blocks, writes = _generate_columns(config)
     return [
         IORequest(time=t, disk=d, block=b, is_write=w)
-        for t, d, b, w in zip(times, disks, blocks, writes)
+        for t, d, b, _, w in iter_synthetic_rows(config)
     ]
 
 
@@ -132,9 +125,9 @@ def generate_synthetic_trace_columnar(
 ) -> ColumnarTrace:
     """:func:`generate_synthetic_trace` straight into columns.
 
-    Same seed, same draws, same requests — without materializing an
-    :class:`IORequest` per row. This is the generator the benchmark
-    harness and campaigns use for large traces.
+    Same seed, same draws, same requests — streamed through the chunked
+    builder without materializing an :class:`IORequest` (or a boxed
+    Python scalar) per row. This is the generator the benchmark harness
+    and campaigns use for large traces.
     """
-    times, disks, blocks, writes = _generate_columns(config)
-    return ColumnarTrace(times, disks, blocks, [1] * len(times), writes)
+    return build_columnar(iter_synthetic_rows(config))

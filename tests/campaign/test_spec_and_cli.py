@@ -103,6 +103,92 @@ class TestCampaignSpec:
         assert {p.params["policy"] for p in sweep.points} == {"lru", "fifo"}
 
 
+class TestWorkloadAxis:
+    """A 'trace.workload' list becomes an implicit workload axis."""
+
+    def workload_spec(self, **overrides):
+        base = {
+            "trace": {
+                "workload": ["dbms", "tenant"],
+                "params": {"duration_s": 5.0},
+                "per_workload": {
+                    "dbms": {"num_disks": 4},
+                    "tenant": {"num_tenants": 2, "disks_per_tenant": 2},
+                },
+            },
+            "axes": {"policy": ["lru", "pa-lru"]},
+            "num_disks": 4,
+            "cache_blocks": 64,
+        }
+        base.update(overrides)
+        return base
+
+    def test_list_injects_axis_and_trace_param(self):
+        spec = CampaignSpec.from_dict(self.workload_spec())
+        assert spec.axes["workload"] == ["dbms", "tenant"]
+        assert "workload" in spec.trace_params
+        assert spec.grid_size() == 4
+
+    def test_factory_merges_per_workload_params(self):
+        spec = CampaignSpec.from_dict(self.workload_spec())
+        factory = spec.load_workload()
+        assert callable(factory)
+        dbms = factory(workload="dbms")
+        tenant = factory(workload="tenant")
+        assert len(dbms) > 0 and len(tenant) > 0
+        assert int(max(dbms.disks)) + 1 <= 4
+        assert int(max(tenant.disks)) + 1 <= 4
+
+    def test_grid_covers_every_cell(self):
+        sweep = run_campaign(CampaignSpec.from_dict(self.workload_spec()))
+        cells = {(p.params["workload"], p.params["policy"]) for p in sweep.points}
+        assert cells == {
+            ("dbms", "lru"),
+            ("dbms", "pa-lru"),
+            ("tenant", "lru"),
+            ("tenant", "pa-lru"),
+        }
+
+    @pytest.mark.parametrize(
+        "broken",
+        [
+            {"trace": {"workload": []}},
+            {"trace": {"workload": ["dbms", 3]}},
+            {
+                "trace": {"workload": ["dbms"]},
+                "axes": {"workload": ["dbms"], "policy": ["lru"]},
+            },
+            {
+                "trace": {
+                    "workload": ["dbms"],
+                    "per_workload": {"cdn": {}},
+                }
+            },
+            {"trace": {"workload": "dbms", "per_workload": {"dbms": {}}}},
+        ],
+    )
+    def test_invalid_workload_lists_rejected(self, broken):
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_dict(self.workload_spec(**broken))
+
+    def test_columnar_num_disks_inference(self):
+        spec = CampaignSpec.from_dict(
+            {
+                "trace": {
+                    "workload": "tenant",
+                    "params": {
+                        "duration_s": 10.0,
+                        "num_tenants": 2,
+                        "disks_per_tenant": 3,
+                    },
+                },
+                "axes": {"policy": ["lru"]},
+            }
+        )
+        workload = spec.load_workload()
+        assert spec.resolve_num_disks(workload) == 6
+
+
 @pytest.fixture()
 def spec_file(tmp_path):
     path = tmp_path / "campaign.json"

@@ -41,6 +41,54 @@ class TestGenerate:
             ["generate", "cello", "-o", str(path), "--duration", "5"]
         ) == 0
 
+    def test_zoo_families(self, tmp_path, capsys):
+        for name, duration in (("dbms", "10"), ("cdn", "3"), ("tenant", "60")):
+            path = tmp_path / f"{name}.csv"
+            assert main(
+                ["generate", name, "-o", str(path), "--duration", duration]
+            ) == 0
+            assert path.exists()
+            assert "requests" in capsys.readouterr().out
+
+    def test_synthetic_rejects_duration(self, tmp_path, capsys):
+        code = main(
+            ["generate", "synthetic", "-o", str(tmp_path / "t.csv"),
+             "--duration", "5"]
+        )
+        assert code == 2
+        assert "--requests" in capsys.readouterr().err
+
+
+class TestTraceImport:
+    FIXTURES = "tests/traces/fixtures"
+
+    def test_blktrace_import(self, tmp_path, capsys):
+        out = tmp_path / "imported.csv"
+        code = main(
+            ["trace", "import", f"{self.FIXTURES}/journal.blktrace",
+             "-o", str(out)]
+        )
+        assert code == 0
+        assert "imported 6 requests (blktrace)" in capsys.readouterr().out
+        assert main(["simulate", str(out), "-p", "lru"]) == 0
+
+    def test_iostat_import_with_format(self, tmp_path, capsys):
+        out = tmp_path / "imported.csv"
+        code = main(
+            ["trace", "import", f"{self.FIXTURES}/fileserver.iostat",
+             "-o", str(out), "--format", "iostat", "--interval", "2.0"]
+        )
+        assert code == 0
+        assert "(iostat)" in capsys.readouterr().out
+
+    def test_malformed_input_reports_line(self, tmp_path, capsys):
+        code = main(
+            ["trace", "import", f"{self.FIXTURES}/bad_op.blktrace",
+             "-o", str(tmp_path / "x.csv")]
+        )
+        assert code == 2
+        assert "bad_op.blktrace:2" in capsys.readouterr().err
+
 
 @pytest.fixture()
 def trace_file(tmp_path):
@@ -72,6 +120,24 @@ class TestSimulate:
             ["simulate", trace_file, "-p", "lru", "--prefetch-depth", "4"]
         ) == 0
 
+    def test_workload_flag_generates_in_process(self, capsys):
+        code = main(
+            ["simulate", "--workload", "tenant", "--duration", "60",
+             "-p", "pa-lru"]
+        )
+        assert code == 0
+        assert "energy=" in capsys.readouterr().out
+
+    def test_trace_and_workload_are_exclusive(self, trace_file, capsys):
+        code = main(
+            ["simulate", trace_file, "--workload", "dbms", "-p", "lru"]
+        )
+        assert code == 2
+        assert "either a trace file or --workload" in capsys.readouterr().err
+
+    def test_neither_trace_nor_workload(self, capsys):
+        assert main(["simulate", "-p", "lru"]) == 2
+
 
 class TestCompare:
     def test_default_pair(self, trace_file, capsys):
@@ -91,6 +157,15 @@ class TestCompare:
     def test_unknown_policy_rejected(self, trace_file):
         with pytest.raises(SystemExit):
             main(["compare", trace_file, "-p", "bogus"])
+
+    def test_workload_flag(self, capsys):
+        code = main(
+            ["compare", "--workload", "cdn", "--duration", "10",
+             "-p", "lru", "-p", "pa-lru"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cdn" in out and "pa-lru" in out
 
 
 class TestReproduce:

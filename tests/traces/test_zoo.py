@@ -1,0 +1,154 @@
+"""Tests for the workload zoo families (repro.traces.zoo)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.fingerprint import trace_fingerprint
+from repro.traces.zoo import (
+    ZOO_WORKLOADS,
+    CDNTraceConfig,
+    DBMSTraceConfig,
+    TenantTraceConfig,
+    generate_cdn_trace,
+    generate_dbms_trace,
+    generate_tenant_trace,
+)
+
+_SMALL = {
+    "dbms": DBMSTraceConfig(duration_s=10.0),
+    "cdn": CDNTraceConfig(duration_s=3.0),
+    "tenant": TenantTraceConfig(duration_s=90.0),
+}
+
+
+class TestZooCommon:
+    @pytest.mark.parametrize("name", sorted(ZOO_WORKLOADS))
+    def test_streams_columnar_and_ordered(self, name):
+        _, generate = ZOO_WORKLOADS[name]
+        trace = generate(_SMALL[name])
+        assert isinstance(trace, ColumnarTrace)
+        assert len(trace) > 0
+        times = np.asarray(trace.times)
+        assert (np.diff(times) >= 0).all()
+        assert times[0] >= 0.0
+
+    @pytest.mark.parametrize("name", sorted(ZOO_WORKLOADS))
+    def test_deterministic(self, name):
+        _, generate = ZOO_WORKLOADS[name]
+        first = generate(_SMALL[name])
+        second = generate(_SMALL[name])
+        assert trace_fingerprint(first) == trace_fingerprint(second)
+
+    @pytest.mark.parametrize("name", sorted(ZOO_WORKLOADS))
+    def test_seed_changes_trace(self, name):
+        _, generate = ZOO_WORKLOADS[name]
+        base = _SMALL[name]
+        reseeded = dataclasses.replace(base, seed=base.seed + 1)
+        assert trace_fingerprint(generate(base)) != trace_fingerprint(
+            generate(reseeded)
+        )
+
+    def test_registry_is_the_public_surface(self):
+        assert sorted(ZOO_WORKLOADS) == ["cdn", "dbms", "tenant"]
+
+
+class TestDBMS:
+    def test_disks_and_writes(self):
+        config = DBMSTraceConfig(duration_s=20.0, num_disks=4)
+        trace = generate_dbms_trace(config)
+        disks = np.asarray(trace.disks)
+        assert set(np.unique(disks)) <= set(range(4))
+        # scans never write; only the tail of a point lookup updates
+        assert 0.0 < float(np.asarray(trace.is_write).mean()) < 0.25
+
+    def test_scan_bursts_are_sequential(self):
+        config = DBMSTraceConfig(
+            duration_s=20.0, scan_fraction=1.0, num_clients=1, num_disks=1
+        )
+        trace = generate_dbms_trace(config)
+        blocks = np.asarray(trace.blocks)
+        # all-scan traffic advances block addresses by exactly 1 within
+        # a scan, so unit strides dominate the address deltas
+        strides = np.diff(blocks)
+        assert (strides == 1).mean() > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DBMSTraceConfig(duration_s=0)
+        with pytest.raises(ConfigurationError):
+            DBMSTraceConfig(scan_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            DBMSTraceConfig(table_blocks=10, scan_blocks=50)
+
+
+class TestCDN:
+    def test_object_sizes_span_blocks(self):
+        config = CDNTraceConfig(duration_s=3.0, max_object_blocks=8)
+        trace = generate_cdn_trace(config)
+        nblocks = np.asarray(trace.nblocks)
+        assert nblocks.min() >= 1
+        assert nblocks.max() <= 8
+        assert nblocks.max() > 1  # objects genuinely span blocks
+
+    def test_popularity_window_drifts(self):
+        config = CDNTraceConfig(
+            duration_s=40.0,
+            popularity_shift_s=10.0,
+            window_drift=50_000,
+            reuse_probability=0.0,  # every request shows the raw window
+            mean_interarrival_s=0.02,
+        )
+        trace = generate_cdn_trace(config)
+        times = np.asarray(trace.times)
+        blocks = np.asarray(trace.blocks)
+        early = set(blocks[times < 10.0].tolist())
+        late = set(blocks[times >= 30.0].tolist())
+        # the fresh-object window moved on: epochs share few addresses
+        overlap = len(early & late) / max(1, len(late))
+        assert overlap < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CDNTraceConfig(window_objects=0)
+        with pytest.raises(ConfigurationError):
+            CDNTraceConfig(window_objects=10, catalog_objects=5)
+        with pytest.raises(ConfigurationError):
+            CDNTraceConfig(reuse_probability=1.5)
+
+
+class TestTenant:
+    def test_disk_banding(self):
+        config = TenantTraceConfig(
+            duration_s=120.0, num_tenants=3, disks_per_tenant=2
+        )
+        assert config.num_disks == 6
+        trace = generate_tenant_trace(config)
+        disks = np.asarray(trace.disks)
+        assert set(np.unique(disks)) <= set(range(6))
+
+    def test_load_is_diurnal(self):
+        config = TenantTraceConfig(
+            duration_s=600.0,
+            num_tenants=1,
+            period_s=600.0,
+            amplitude=0.85,
+            base_rate_hz=4.0,
+        )
+        trace = generate_tenant_trace(config)
+        times = np.asarray(trace.times)
+        # tenant 0 peaks at t = period/4 and troughs at 3*period/4
+        peak = ((times >= 100.0) & (times < 200.0)).sum()
+        trough = ((times >= 400.0) & (times < 500.0)).sum()
+        assert peak > 2 * trough
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TenantTraceConfig(amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            TenantTraceConfig(num_tenants=0)
+        with pytest.raises(ConfigurationError):
+            TenantTraceConfig(base_rate_hz=0.0)
